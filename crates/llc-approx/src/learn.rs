@@ -1,0 +1,165 @@
+use crate::{LookupTable, Quantizer, RegressionTree, TreeConfig, TreeError};
+
+/// A rectangular grid sampler over a continuous input domain: each
+/// dimension is `(lo, hi, steps)` and the full cartesian product is
+/// enumerated — the "quantized approximation of the domain of ω" the
+/// paper trains its abstraction map over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSampler {
+    dims: Vec<(f64, f64, usize)>,
+}
+
+impl GridSampler {
+    /// A sampler over the given `(lo, hi, steps)` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension has `steps == 0` or `lo > hi`.
+    pub fn new(dims: Vec<(f64, f64, usize)>) -> Self {
+        assert!(!dims.is_empty(), "need at least one dimension");
+        for &(lo, hi, steps) in &dims {
+            assert!(steps >= 1, "each dimension needs at least one step");
+            assert!(lo <= hi, "dimension bounds inverted");
+        }
+        GridSampler { dims }
+    }
+
+    /// Number of dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of grid points.
+    pub fn count(&self) -> usize {
+        self.dims.iter().map(|&(_, _, s)| s).product()
+    }
+
+    /// Value of dimension `d` at step `i` (inclusive endpoints; a single
+    /// step yields the midpoint).
+    fn value(&self, d: usize, i: usize) -> f64 {
+        let (lo, hi, steps) = self.dims[d];
+        if steps == 1 {
+            0.5 * (lo + hi)
+        } else {
+            lo + (hi - lo) * i as f64 / (steps - 1) as f64
+        }
+    }
+
+    /// Enumerate all grid points.
+    pub fn points(&self) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.count());
+        let mut idx = vec![0usize; self.dims.len()];
+        loop {
+            out.push(
+                idx.iter()
+                    .enumerate()
+                    .map(|(d, &i)| self.value(d, i))
+                    .collect(),
+            );
+            // Odometer increment.
+            let mut d = 0;
+            loop {
+                idx[d] += 1;
+                if idx[d] < self.dims[d].2 {
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+                if d == self.dims.len() {
+                    return out;
+                }
+            }
+        }
+    }
+}
+
+/// Train a [`LookupTable`] by evaluating `f` at every grid point: the
+/// simulation-based learning step behind the L1 abstraction map `g`.
+/// `cell_steps` supplies the per-dimension quantization of the table keys.
+///
+/// # Panics
+///
+/// Panics if `cell_steps` length differs from the sampler's dimensions.
+pub fn train_table<V: Clone>(
+    sampler: &GridSampler,
+    cell_steps: &[f64],
+    mut f: impl FnMut(&[f64]) -> V,
+) -> LookupTable<V> {
+    assert_eq!(
+        cell_steps.len(),
+        sampler.num_dims(),
+        "one cell step per grid dimension required"
+    );
+    let mut table = LookupTable::new(cell_steps.iter().map(|&s| Quantizer::new(s)).collect());
+    for p in sampler.points() {
+        let v = f(&p);
+        table.insert(&p, v);
+    }
+    table
+}
+
+/// Train a [`RegressionTree`] by evaluating `f` at every grid point: the
+/// paper's L2 pipeline ("a module is first simulated and the corresponding
+/// cost values stored in a large lookup table. This table is then used to
+/// train a regression tree").
+///
+/// # Errors
+///
+/// Propagates [`TreeError`] from the fit (only possible with a degenerate
+/// sampler).
+pub fn train_tree(
+    sampler: &GridSampler,
+    config: TreeConfig,
+    mut f: impl FnMut(&[f64]) -> f64,
+) -> Result<RegressionTree, TreeError> {
+    let xs = sampler.points();
+    let ys: Vec<f64> = xs.iter().map(|p| f(p)).collect();
+    RegressionTree::fit(&xs, &ys, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_count_and_bounds() {
+        let g = GridSampler::new(vec![(0.0, 1.0, 3), (10.0, 20.0, 2)]);
+        assert_eq!(g.count(), 6);
+        let pts = g.points();
+        assert_eq!(pts.len(), 6);
+        assert!(pts.contains(&vec![0.0, 10.0]));
+        assert!(pts.contains(&vec![1.0, 20.0]));
+        assert!(pts.contains(&vec![0.5, 10.0]));
+    }
+
+    #[test]
+    fn single_step_dimension_uses_midpoint() {
+        let g = GridSampler::new(vec![(2.0, 4.0, 1)]);
+        assert_eq!(g.points(), vec![vec![3.0]]);
+    }
+
+    #[test]
+    fn trained_table_answers_on_and_off_grid() {
+        let g = GridSampler::new(vec![(0.0, 10.0, 11)]);
+        let table = train_table(&g, &[1.0], |p| p[0] * 2.0);
+        // On-grid exact.
+        assert_eq!(table.get(&[4.0]), Some(&8.0));
+        // Off-grid clamps/nearest.
+        assert_eq!(table.get(&[100.0]), Some(&20.0));
+        assert_eq!(table.len(), 11);
+    }
+
+    #[test]
+    fn trained_tree_approximates_function() {
+        let g = GridSampler::new(vec![(0.0, 1.0, 25), (0.0, 1.0, 25)]);
+        let tree = train_tree(&g, TreeConfig::default(), |p| 3.0 * p[0] - p[1]).unwrap();
+        let err = (tree.predict(&[0.7, 0.2]) - (3.0 * 0.7 - 0.2)).abs();
+        assert!(err < 0.2, "error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_bounds_panic() {
+        let _ = GridSampler::new(vec![(1.0, 0.0, 5)]);
+    }
+}

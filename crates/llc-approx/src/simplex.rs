@@ -1,0 +1,261 @@
+/// The quantized probability simplex `{γ : Σγ_j = 1, γ_j ≥ 0, γ_j ∈ qZ}`.
+///
+/// L1 quantizes per-computer fractions at `q = 0.05`, L2 per-module
+/// fractions at `q = 0.1`. The grid supports full enumeration (used by L2
+/// over 4 modules: C(13,3) = 286 points at q = 0.1) and single-quantum
+/// transfer neighborhoods (used by the bounded searches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexGrid {
+    dims: usize,
+    levels: usize,
+}
+
+impl SimplexGrid {
+    /// The simplex over `dims` components with quantum `1/levels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0` or `levels == 0`.
+    pub fn new(dims: usize, levels: usize) -> Self {
+        assert!(dims > 0, "simplex needs at least one dimension");
+        assert!(levels > 0, "quantum must be positive (levels >= 1)");
+        SimplexGrid { dims, levels }
+    }
+
+    /// The simplex with quantum `q` (must divide 1 within tolerance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` does not evenly divide 1.
+    pub fn with_quantum(dims: usize, q: f64) -> Self {
+        let levels = (1.0 / q).round();
+        assert!(
+            ((1.0 / q) - levels).abs() < 1e-9,
+            "quantum {q} must divide 1 evenly"
+        );
+        SimplexGrid::new(dims, levels as usize)
+    }
+
+    /// Number of components.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The quantum `1/levels`.
+    pub fn quantum(&self) -> f64 {
+        1.0 / self.levels as f64
+    }
+
+    /// Number of grid points: `C(levels + dims - 1, dims - 1)`.
+    pub fn count(&self) -> usize {
+        // Compute the binomial iteratively to avoid overflow for the
+        // small parameters used here.
+        let n = self.levels + self.dims - 1;
+        let k = self.dims - 1;
+        let mut acc: u128 = 1;
+        for i in 0..k {
+            acc = acc * (n - i) as u128 / (i + 1) as u128;
+        }
+        acc as usize
+    }
+
+    /// Enumerate every grid point as a fraction vector.
+    pub fn enumerate(&self) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.count());
+        let mut current = vec![0usize; self.dims];
+        self.enumerate_rec(0, self.levels, &mut current, &mut out);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        dim: usize,
+        remaining: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<f64>>,
+    ) {
+        if dim == self.dims - 1 {
+            current[dim] = remaining;
+            let q = self.quantum();
+            out.push(current.iter().map(|&u| u as f64 * q).collect());
+            return;
+        }
+        for units in 0..=remaining {
+            current[dim] = units;
+            self.enumerate_rec(dim + 1, remaining - units, current, out);
+        }
+    }
+
+    /// Snap an arbitrary non-negative vector onto the grid: proportional
+    /// scaling to sum 1, floor to quanta, then distribute the leftover
+    /// quanta to the components with the largest remainders (largest-
+    /// remainder method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from `dims` or all entries are
+    /// zero/negative.
+    pub fn snap(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dims, "dimension mismatch");
+        let total: f64 = v.iter().sum();
+        assert!(total > 0.0, "cannot snap a non-positive vector");
+        let scaled: Vec<f64> = v
+            .iter()
+            .map(|x| (x.max(0.0) / total) * self.levels as f64)
+            .collect();
+        let mut units: Vec<usize> = scaled.iter().map(|x| x.floor() as usize).collect();
+        let assigned: usize = units.iter().sum();
+        let mut rema: Vec<(usize, f64)> = scaled
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (i, x - x.floor()))
+            .collect();
+        rema.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (i, _) in rema.iter().take(self.levels - assigned) {
+            units[*i] += 1;
+        }
+        let q = self.quantum();
+        units.into_iter().map(|u| u as f64 * q).collect()
+    }
+
+    /// All grid points one quantum-transfer away from `point`: move one
+    /// quantum from a positive component to a different component. The
+    /// neighborhood size is at most `dims·(dims−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is not on the grid (wrong length or sum ≠ 1).
+    pub fn neighbors(&self, point: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(point.len(), self.dims, "dimension mismatch");
+        let q = self.quantum();
+        let units: Vec<i64> = point.iter().map(|&x| (x / q).round() as i64).collect();
+        assert_eq!(
+            units.iter().sum::<i64>(),
+            self.levels as i64,
+            "point is not on the simplex grid"
+        );
+        let mut out = Vec::new();
+        for from in 0..self.dims {
+            if units[from] == 0 {
+                continue;
+            }
+            for to in 0..self.dims {
+                if to == from {
+                    continue;
+                }
+                let mut next = units.clone();
+                next[from] -= 1;
+                next[to] += 1;
+                out.push(next.iter().map(|&u| u as f64 * q).collect());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn count_matches_enumeration() {
+        for (dims, levels) in [(2, 10), (3, 10), (4, 10), (4, 20), (2, 1)] {
+            let g = SimplexGrid::new(dims, levels);
+            assert_eq!(g.enumerate().len(), g.count(), "dims={dims} levels={levels}");
+        }
+    }
+
+    #[test]
+    fn l2_grid_size_matches_paper_setting() {
+        // 4 modules at quantum 0.1: C(13, 3) = 286 candidate splits.
+        let g = SimplexGrid::with_quantum(4, 0.1);
+        assert_eq!(g.count(), 286);
+    }
+
+    #[test]
+    fn every_point_sums_to_one() {
+        let g = SimplexGrid::with_quantum(3, 0.05);
+        for p in g.enumerate() {
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{p:?}");
+            assert!(p.iter().all(|&x| x >= -1e-12));
+        }
+    }
+
+    fn approx_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+    }
+
+    #[test]
+    fn snap_recovers_exact_points() {
+        let g = SimplexGrid::with_quantum(3, 0.1);
+        let p = vec![0.3, 0.5, 0.2];
+        assert!(approx_eq(&g.snap(&p), &p), "{:?}", g.snap(&p));
+    }
+
+    #[test]
+    fn snap_normalizes_and_quantizes() {
+        let g = SimplexGrid::with_quantum(2, 0.1);
+        let snapped = g.snap(&[2.0, 1.0]);
+        let s: f64 = snapped.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((snapped[0] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbors_move_one_quantum() {
+        let g = SimplexGrid::with_quantum(3, 0.1);
+        let n = g.neighbors(&[0.5, 0.5, 0.0]);
+        // Transfers: from comp 0 (to 1, to 2) and from comp 1 (to 0, to 2).
+        assert_eq!(n.len(), 4);
+        for p in &n {
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        assert!(n.iter().any(|p| approx_eq(p, &[0.4, 0.6, 0.0])));
+        assert!(n.iter().any(|p| approx_eq(p, &[0.5, 0.4, 0.1])));
+    }
+
+    #[test]
+    fn corner_has_reduced_neighborhood() {
+        let g = SimplexGrid::with_quantum(3, 0.1);
+        let n = g.neighbors(&[1.0, 0.0, 0.0]);
+        assert_eq!(n.len(), 2, "only the loaded component can give");
+    }
+
+    #[test]
+    #[should_panic(expected = "not on the simplex grid")]
+    fn off_grid_point_panics() {
+        let g = SimplexGrid::with_quantum(2, 0.1);
+        let _ = g.neighbors(&[0.55, 0.55]);
+    }
+
+    proptest! {
+        #[test]
+        fn snap_output_is_on_grid(
+            raw in proptest::collection::vec(0.01..10.0f64, 2..6)
+        ) {
+            let g = SimplexGrid::with_quantum(raw.len(), 0.05);
+            let snapped = g.snap(&raw);
+            let s: f64 = snapped.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            for x in &snapped {
+                let units = x / 0.05;
+                prop_assert!((units - units.round()).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn neighbors_stay_on_grid(levels in 2usize..12, dims in 2usize..5) {
+            let g = SimplexGrid::new(dims, levels);
+            let points = g.enumerate();
+            let p = &points[points.len() / 2];
+            for n in g.neighbors(p) {
+                let s: f64 = n.iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-9);
+                prop_assert!(n.iter().all(|&x| x >= -1e-12));
+            }
+        }
+    }
+}

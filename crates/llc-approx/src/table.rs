@@ -1,0 +1,209 @@
+use crate::Quantizer;
+use std::collections::HashMap;
+
+/// The abstraction map `g` as a quantized-key hash table.
+///
+/// "The map g is initially obtained in off-line fashion by simulating the
+/// L0 controller using various values from the input set … and a quantized
+/// approximation of the domain" (§4.2); "the abstraction map g is obtained
+/// off-line as a hash table" (§4.3).
+///
+/// Keys are points in a continuous input space; each dimension carries its
+/// own [`Quantizer`] mapping coordinates to integer cells. Lookups that
+/// miss (queries outside the trained grid) first clamp each coordinate to
+/// the trained per-dimension range and re-probe; remaining holes fall back
+/// to a nearest-neighbor scan in cell space, so the table always answers
+/// once at least one entry exists.
+#[derive(Debug, Clone)]
+pub struct LookupTable<V> {
+    dims: Vec<Quantizer>,
+    map: HashMap<Vec<i64>, V>,
+    /// Per-dimension [min, max] observed cell ranges.
+    ranges: Vec<Option<(i64, i64)>>,
+}
+
+impl<V: Clone> LookupTable<V> {
+    /// An empty table whose key space is quantized per-dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty.
+    pub fn new(dims: Vec<Quantizer>) -> Self {
+        assert!(!dims.is_empty(), "table needs at least one key dimension");
+        let n = dims.len();
+        LookupTable {
+            dims,
+            map: HashMap::new(),
+            ranges: vec![None; n],
+        }
+    }
+
+    /// Number of key dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of stored cells.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn cells_of(&self, point: &[f64]) -> Vec<i64> {
+        assert_eq!(point.len(), self.dims.len(), "key dimension mismatch");
+        point
+            .iter()
+            .zip(&self.dims)
+            .map(|(&v, q)| q.cell(v))
+            .collect()
+    }
+
+    /// Insert (or overwrite) the value for the cell containing `point`.
+    pub fn insert(&mut self, point: &[f64], value: V) {
+        let cells = self.cells_of(point);
+        for (i, &c) in cells.iter().enumerate() {
+            self.ranges[i] = Some(match self.ranges[i] {
+                None => (c, c),
+                Some((lo, hi)) => (lo.min(c), hi.max(c)),
+            });
+        }
+        self.map.insert(cells, value);
+    }
+
+    /// Exact lookup of the cell containing `point`.
+    pub fn get_exact(&self, point: &[f64]) -> Option<&V> {
+        self.map.get(&self.cells_of(point))
+    }
+
+    /// Robust lookup: exact, then range-clamped, then nearest stored cell
+    /// by L1 distance in cell space. Returns `None` only when the table is
+    /// empty.
+    pub fn get(&self, point: &[f64]) -> Option<&V> {
+        let cells = self.cells_of(point);
+        if let Some(v) = self.map.get(&cells) {
+            return Some(v);
+        }
+        // Clamp to the trained hyper-rectangle and re-probe.
+        let clamped: Vec<i64> = cells
+            .iter()
+            .zip(&self.ranges)
+            .map(|(&c, r)| match r {
+                Some((lo, hi)) => c.clamp(*lo, *hi),
+                None => c,
+            })
+            .collect();
+        if let Some(v) = self.map.get(&clamped) {
+            return Some(v);
+        }
+        // Nearest neighbor over stored keys (tables are trained over
+        // moderate grids, so the scan is acceptable as a last resort).
+        // Ties break on the lexicographically smallest key so lookups are
+        // deterministic regardless of hash-map iteration order.
+        self.map
+            .iter()
+            .min_by(|(ka, _), (kb, _)| {
+                let da: u64 = ka
+                    .iter()
+                    .zip(&clamped)
+                    .map(|(a, b)| (a - b).unsigned_abs())
+                    .sum();
+                let db: u64 = kb
+                    .iter()
+                    .zip(&clamped)
+                    .map(|(a, b)| (a - b).unsigned_abs())
+                    .sum();
+                da.cmp(&db).then_with(|| ka.cmp(kb))
+            })
+            .map(|(_, v)| v)
+    }
+
+    /// Iterate stored `(cell_centers, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<f64>, &V)> + '_ {
+        self.map.iter().map(move |(cells, v)| {
+            let centers = cells
+                .iter()
+                .zip(&self.dims)
+                .map(|(&c, q)| q.center(c))
+                .collect();
+            (centers, v)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_2d() -> LookupTable<f64> {
+        // 1.0-wide cells on both axes.
+        let mut t = LookupTable::new(vec![Quantizer::new(1.0), Quantizer::new(1.0)]);
+        for x in 0..5 {
+            for y in 0..5 {
+                t.insert(&[x as f64 + 0.5, y as f64 + 0.5], (x * 10 + y) as f64);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn exact_hit() {
+        let t = table_2d();
+        assert_eq!(t.get_exact(&[2.3, 4.9]), Some(&24.0));
+        assert_eq!(t.len(), 25);
+        assert_eq!(t.num_dims(), 2);
+    }
+
+    #[test]
+    fn miss_outside_grid_clamps_to_edge() {
+        let t = table_2d();
+        // Far outside the trained range: clamped to cell (4, 0).
+        assert_eq!(t.get(&[100.0, -50.0]), Some(&40.0));
+        assert_eq!(t.get_exact(&[100.0, -50.0]), None);
+    }
+
+    #[test]
+    fn hole_falls_back_to_nearest() {
+        let mut t = LookupTable::new(vec![Quantizer::new(1.0)]);
+        t.insert(&[0.5], 1.0);
+        t.insert(&[5.5], 2.0);
+        // Cell 2 is inside the range but was never trained: nearest is
+        // cell 0 (distance 2) vs cell 5 (distance 3).
+        assert_eq!(t.get(&[2.5]), Some(&1.0));
+    }
+
+    #[test]
+    fn empty_table_returns_none() {
+        let t: LookupTable<f64> = LookupTable::new(vec![Quantizer::new(0.5)]);
+        assert_eq!(t.get(&[1.0]), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_overwrites_same_cell() {
+        let mut t = LookupTable::new(vec![Quantizer::new(1.0)]);
+        t.insert(&[0.1], 1.0);
+        t.insert(&[0.9], 2.0); // same cell 0
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&[0.5]), Some(&2.0));
+    }
+
+    #[test]
+    fn iter_reports_cell_centers() {
+        let mut t = LookupTable::new(vec![Quantizer::new(2.0)]);
+        t.insert(&[1.0], 7.0);
+        let items: Vec<(Vec<f64>, &f64)> = t.iter().collect();
+        assert_eq!(items.len(), 1);
+        assert!((items[0].0[0] - 1.0).abs() < 1e-12, "center of cell [0,2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_key_length_panics() {
+        let t = table_2d();
+        let _ = t.get(&[1.0]);
+    }
+}

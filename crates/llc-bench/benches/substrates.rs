@@ -1,0 +1,120 @@
+//! Criterion benches for the substrates: event-simulator throughput,
+//! forecasting filters and function approximation. These establish that
+//! the run-time overhead claims rest on cheap primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llc_approx::{GridSampler, RegressionTree, SimplexGrid, TreeConfig};
+use llc_forecast::{Ewma, Forecaster, KalmanFilter, LocalLinearTrend, Matrix};
+use llc_sim::{ClusterConfig, ClusterSim, ComputerConfig, PowerModel};
+use std::hint::black_box;
+
+/// Event-engine throughput: requests fully served per second of wall
+/// time on a four-computer module.
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("serve_requests", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = ClusterConfig {
+                    modules: vec![(0..4)
+                        .map(|_| {
+                            ComputerConfig::new(
+                                vec![1.0e9, 2.0e9],
+                                PowerModel::paper_default(),
+                                0.0,
+                            )
+                        })
+                        .collect()],
+                };
+                let mut sim = ClusterSim::new(config);
+                for i in 0..4 {
+                    sim.power_on(i);
+                }
+                sim.set_module_weights(&[1.0]).unwrap();
+                sim.set_computer_weights(0, &[1.0; 4]).unwrap();
+                for k in 0..n {
+                    sim.schedule_arrival(k as f64 * 1e-3, 0.0005).unwrap();
+                }
+                sim.run_until(n as f64 * 1e-3 + 10.0).unwrap();
+                black_box(sim.total_energy())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Kalman filter predict+update and multi-step forecasting.
+fn bench_forecasting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forecasting");
+    group.sample_size(50);
+
+    group.bench_function("kalman_step_2state", |b| {
+        let mut kf = KalmanFilter::new(
+            Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
+            Matrix::from_rows(&[&[1.0, 0.0]]),
+            Matrix::diagonal(&[10.0, 0.1]),
+            Matrix::diagonal(&[100.0]),
+            Matrix::column(&[0.0, 0.0]),
+            Matrix::diagonal(&[1e6, 1e6]),
+        )
+        .unwrap();
+        let mut z = 0.0;
+        b.iter(|| {
+            z += 1.0;
+            kf.step_scalar(black_box(z)).unwrap();
+            black_box(kf.observation())
+        })
+    });
+
+    group.bench_function("trend_observe_predict3", |b| {
+        let mut f = LocalLinearTrend::with_default_noise();
+        let mut z = 100.0;
+        b.iter(|| {
+            z += 0.5;
+            f.observe(black_box(z));
+            black_box(f.predict(3))
+        })
+    });
+
+    group.bench_function("ewma_observe", |b| {
+        let mut f = Ewma::paper_default();
+        b.iter(|| {
+            f.observe(black_box(0.0175));
+            black_box(f.estimate())
+        })
+    });
+    group.finish();
+}
+
+/// Function approximation: CART training and prediction, simplex grids.
+fn bench_approximation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approximation");
+    group.sample_size(20);
+
+    let sampler = GridSampler::new(vec![(0.0, 1.0, 20), (0.0, 1.0, 20)]);
+    let xs = sampler.points();
+    let ys: Vec<f64> = xs.iter().map(|p| p[0] * 3.0 + p[1] * p[1]).collect();
+    group.bench_function("cart_fit_400pts", |b| {
+        b.iter(|| {
+            black_box(
+                RegressionTree::fit(black_box(&xs), black_box(&ys), TreeConfig::default())
+                    .unwrap(),
+            )
+        })
+    });
+
+    let tree = RegressionTree::fit(&xs, &ys, TreeConfig::default()).unwrap();
+    group.bench_function("cart_predict", |b| {
+        b.iter(|| black_box(tree.predict(black_box(&[0.37, 0.61]))))
+    });
+
+    group.bench_function("simplex_enumerate_4mod_q01", |b| {
+        let grid = SimplexGrid::with_quantum(4, 0.1);
+        b.iter(|| black_box(grid.enumerate().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_forecasting, bench_approximation);
+criterion_main!(benches);

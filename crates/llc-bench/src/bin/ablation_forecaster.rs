@@ -1,0 +1,82 @@
+//! Forecaster ablation: the paper's Kalman/ARIMA choice vs alternatives
+//! on arrival prediction over the evaluation workloads (2-minute
+//! sampling, as the L1/L2 controllers see them).
+//!
+//! Two horizons are scored: one step (2 min — what the controllers use)
+//! and 30 steps (1 h — where trend extrapolation degrades and the
+//! seasonal profile pays off).
+
+use llc_bench::report::write_csv;
+use llc_forecast::{AccuracyStats, Arima, Ewma, Forecaster, LocalLinearTrend, SeasonalTrend};
+use llc_workload::{synthetic_paper_workload, wc98_like_days, Trace};
+use std::collections::VecDeque;
+
+fn evaluate(forecaster: &mut dyn Forecaster, trace: &Trace, horizon: usize) -> (f64, f64) {
+    let mut stats = AccuracyStats::new();
+    // (due_bucket, prediction) pairs issued `horizon` buckets ago.
+    let mut pending: VecDeque<(usize, f64)> = VecDeque::new();
+    for (k, (_, count)) in trace.iter().enumerate() {
+        while pending.front().is_some_and(|(due, _)| *due == k) {
+            let (_, pred) = pending.pop_front().expect("checked");
+            stats.record(count, pred);
+        }
+        if forecaster.observations() >= 4 {
+            let preds = forecaster.predict(horizon);
+            pending.push_back((k + horizon, preds[horizon - 1]));
+        }
+        forecaster.observe(count);
+    }
+    (stats.mae(), stats.mape() * 100.0)
+}
+
+fn battery(trace: &Trace, horizon: usize) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    let mut run = |name: &str, f: &mut dyn Forecaster| {
+        let (mae, mape) = evaluate(f, trace, horizon);
+        out.push((name.to_string(), mae, mape));
+    };
+    run(
+        "local-linear-trend",
+        &mut LocalLinearTrend::with_default_noise().with_floor(0.0),
+    );
+    run(
+        "seasonal-trend (720)",
+        &mut SeasonalTrend::new(720, 0.3).with_floor(0.0),
+    );
+    run("arima(2,1) w=240", &mut Arima::new(2, 1, 240).with_floor(0.0));
+    run("ewma(0.1)", &mut Ewma::paper_default());
+    out
+}
+
+fn main() {
+    println!("Forecaster ablation — arrival counts per 2-minute bucket\n");
+    let workloads: Vec<(&str, Trace)> = vec![
+        ("synthetic (Fig. 4)", synthetic_paper_workload(2006)),
+        // Three consecutive WC'98-like days: the repeated daily shape is
+        // what the seasonal forecaster exists for.
+        ("wc98-like 3 days", wc98_like_days(2006, 3)),
+    ];
+
+    let mut rows = Vec::new();
+    for (wname, trace) in &workloads {
+        for horizon in [1usize, 30] {
+            println!("{wname} — horizon {horizon} step(s) ({} min ahead):", horizon * 2);
+            println!("{:<26} | {:>12} | {:>9}", "forecaster", "MAE (req)", "MAPE");
+            println!("{}", "-".repeat(54));
+            for (name, mae, mape) in battery(trace, horizon) {
+                println!("{name:<26} | {mae:>12.1} | {mape:>8.2}%");
+                rows.push(format!("{wname},{horizon},{name},{mae:.2},{mape:.3}"));
+            }
+            println!();
+        }
+    }
+    println!("expected shape: the paper's Kalman trend filter dominates at the 2-minute");
+    println!("control horizon; at one hour ahead the seasonal profile overtakes plain");
+    println!("trend extrapolation on the repeating multi-day trace.");
+    let path = write_csv(
+        "ablation_forecaster.csv",
+        "workload,horizon,forecaster,mae,mape_pct",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

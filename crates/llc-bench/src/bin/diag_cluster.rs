@@ -1,0 +1,30 @@
+//! Diagnostic dump of the Fig. 6 cluster run (development aid).
+
+use llc_bench::figures::{cluster_experiment, FIGURE_SEED};
+
+fn main() {
+    let run = cluster_experiment(FIGURE_SEED);
+    println!("tick time    arr   comp  resp     act  qtot   drop");
+    for t in run.log.ticks.iter().step_by(8) {
+        println!(
+            "{:4} {:6.0} {:6} {:6} {:>8} {:4} {:6} {:6}",
+            t.tick,
+            t.time,
+            t.arrivals,
+            t.completions,
+            t.mean_response
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            t.active,
+            t.queue_total,
+            t.dropped,
+        );
+    }
+    println!("\ngamma history (every 8th):");
+    for (tick, g) in run.policy.gamma_module_history().iter().step_by(8) {
+        let cells: Vec<String> = g.iter().map(|x| format!("{x:.1}")).collect();
+        println!("{tick:5}: {}", cells.join(" "));
+    }
+    let s = run.log.summary();
+    println!("\nsummary: {s:?}");
+}

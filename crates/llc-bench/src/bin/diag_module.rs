@@ -1,0 +1,36 @@
+//! Diagnostic dump of a single-module run (development aid).
+
+use llc_cluster::{single_module, Experiment, HierarchicalPolicy};
+use llc_workload::{synthetic_paper_workload, VirtualStore};
+
+fn main() {
+    let scenario = single_module(4).with_coarse_learning();
+    let mut policy = HierarchicalPolicy::build(&scenario);
+    let trace = synthetic_paper_workload(42).slice(0, 400);
+    let store = VirtualStore::paper_default(42);
+    let log = Experiment::paper_default(42)
+        .run(scenario.to_sim_config(), &mut policy, &trace, &store)
+        .expect("well-formed scenario");
+    let mut prev_drop = 0u64;
+    for t in &log.ticks {
+        let d = t.dropped - prev_drop;
+        prev_drop = t.dropped;
+        if d > 0 || t.mean_response.is_some_and(|r| r > 8.0) {
+            println!(
+                "tick {:4} t={:6.0} arr={:5} comp={:5} resp={:>8} act={:?} q={:?} drop+={} freq={:?}",
+                t.tick,
+                t.time,
+                t.arrivals,
+                t.completions,
+                t.mean_response
+                    .map(|r| format!("{r:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                t.active_flags,
+                t.queues,
+                d,
+                t.frequency_indices,
+            );
+        }
+    }
+    println!("total dropped: {}", log.summary().total_dropped);
+}

@@ -1,0 +1,34 @@
+//! Fig. 3: the discrete operating frequencies of each computer in the
+//! four-computer module.
+
+use llc_bench::report::write_csv;
+use llc_cluster::{ComputerProfile, FrequencyProfile};
+
+fn main() {
+    println!("Fig. 3 — operating frequencies available within each computer\n");
+    println!("(the printed table in the paper is an image; we model the cited");
+    println!(" parts — AMD K6-2+: 8 settings, Pentium M: 6-10 settings — with");
+    println!(" heterogeneous round-valued sets; C4 reaches 2.0 GHz as Fig. 5 shows)\n");
+
+    let mut rows = Vec::new();
+    for (i, profile) in FrequencyProfile::module_set().into_iter().enumerate() {
+        let cp = ComputerProfile::paper_default(profile);
+        let mhz: Vec<String> = profile
+            .frequencies()
+            .iter()
+            .map(|f| format!("{:.0}", f / 1e6))
+            .collect();
+        println!(
+            "C{} ({:?}, speed {:.2}): {} MHz",
+            i + 1,
+            profile,
+            cp.speed,
+            mhz.join(", ")
+        );
+        for f in profile.frequencies() {
+            rows.push(format!("C{},{}", i + 1, f));
+        }
+    }
+    let path = write_csv("fig3_frequencies.csv", "computer,frequency_hz", &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! §5.2 hierarchy-path overhead: the execution time along one path of the
+//! hierarchy (one L2 + one L1 + one L0 decision) for the 16-computer /
+//! 4-module cluster and the 20-computer / 5-module variant.
+//!
+//! The paper reports 2.5 s (16 computers) and ~3.4 s (20 computers) in
+//! MATLAB. The shape to reproduce: overhead grows mildly when adding a
+//! fifth module (the L2 simplex at quantum 0.1 grows 286 -> 1001 points).
+
+use llc_bench::figures::{cluster20_experiment, cluster_experiment, FIGURE_SEED};
+use llc_bench::report::{ms, write_csv};
+
+fn main() {
+    println!("§5.2 — execution time along one hierarchy path (L2 + L1 + L0)\n");
+    println!(
+        "{:>10} | {:>8} | {:>12} | {:>12} | {:>12} | {:>12} | {:>14}",
+        "computers", "modules", "L2 mean", "L1 mean", "L0 mean", "path", "L2 states/dec"
+    );
+    println!("{}", "-".repeat(100));
+
+    let mut rows = Vec::new();
+    for (label, run) in [
+        ("16/4", cluster_experiment(FIGURE_SEED)),
+        ("20/5", cluster20_experiment(FIGURE_SEED)),
+    ] {
+        let overhead = run.policy.overhead();
+        let path = run.policy.path_overhead();
+        let l2_states = run
+            .policy
+            .l2()
+            .map(|l2| l2.mean_states_evaluated())
+            .unwrap_or(0.0);
+        let (computers, modules) = (
+            run.scenario.num_computers(),
+            run.scenario.num_modules(),
+        );
+        println!(
+            "{computers:>10} | {modules:>8} | {:>12} | {:>12} | {:>12} | {:>12} | {l2_states:>14.0}",
+            ms(overhead[2].mean()),
+            ms(overhead[1].mean()),
+            ms(overhead[0].mean()),
+            ms(path),
+        );
+        rows.push(format!(
+            "{label},{computers},{modules},{:.6},{:.6},{:.6},{:.6},{l2_states:.0}",
+            overhead[2].mean().as_secs_f64(),
+            overhead[1].mean().as_secs_f64(),
+            overhead[0].mean().as_secs_f64(),
+            path.as_secs_f64(),
+        ));
+    }
+
+    println!();
+    println!("paper reference: 2.5 s for 16 computers, ~3.4 s for 20 (MATLAB, P4 3 GHz);");
+    println!("expected shape: path time grows ~1.3-3.5x from 16/4 to 20/5 (L2 simplex 286 -> 1001).");
+
+    let path = write_csv(
+        "overhead_cluster.csv",
+        "config,computers,modules,l2_mean_s,l1_mean_s,l0_mean_s,path_s,l2_states",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,153 @@
+//! Plot/CSV/reporting helpers shared by the figure binaries.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The output directory for regenerated figures (`results/`, created on
+/// demand next to the workspace root or the current directory).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("cannot create results directory");
+    dir.to_path_buf()
+}
+
+/// Write rows as CSV with a header line. Returns the path written.
+///
+/// # Panics
+///
+/// Panics on I/O failure (binaries want loud failures).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut text = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    text.push_str(header);
+    text.push('\n');
+    for row in rows {
+        text.push_str(row);
+        text.push('\n');
+    }
+    fs::write(&path, text).expect("cannot write CSV");
+    path
+}
+
+/// Render one series as an ASCII chart (x left-to-right, y bottom-up).
+pub fn ascii_plot(title: &str, series: &[(f64, f64)], width: usize, height: usize) -> String {
+    ascii_plot_multi(title, &[("*", series)], width, height)
+}
+
+/// Render several series on a shared canvas, each with its own glyph.
+pub fn ascii_plot_multi(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return format!("{title}\n(empty series)\n");
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (glyph, s) in series {
+        let g = glyph.chars().next().unwrap_or('*');
+        for &(x, y) in s.iter() {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            canvas[row][cx.min(width - 1)] = g;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in canvas.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_hi:>10.1} |")
+        } else if i == height - 1 {
+            format!("{y_lo:>10.1} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10}  {}\n{:>10}  {:<width$.1}{:>rest$.1}\n",
+        "",
+        "-".repeat(width),
+        "",
+        x_lo,
+        x_hi,
+        width = width / 2,
+        rest = width - width / 2,
+    ));
+    out
+}
+
+/// Format a `Duration` as milliseconds with 3 decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.3} ms", d.as_secs_f64() * 1e3)
+}
+
+/// `--quick` flag: shortened runs for CI and development.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("LLC_QUICK").is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_renders_bounds_and_glyphs() {
+        let series: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i * i) as f64)).collect();
+        let p = ascii_plot("test", &series, 40, 10);
+        assert!(p.contains("test"));
+        assert!(p.contains('*'));
+        assert!(p.contains("2401.0"), "max y labelled: {p}");
+    }
+
+    #[test]
+    fn plot_multi_uses_distinct_glyphs() {
+        let a: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64)).collect();
+        let b: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (10 - i) as f64)).collect();
+        let p = ascii_plot_multi("two", &[("a", &a), ("b", &b)], 30, 8);
+        assert!(p.contains('a'));
+        assert!(p.contains('b'));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let p = ascii_plot("none", &[], 30, 8);
+        assert!(p.contains("empty"));
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(std::time::Duration::from_micros(1500)), "1.500 ms");
+    }
+}

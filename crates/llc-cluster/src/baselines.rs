@@ -1,0 +1,364 @@
+use crate::policy::{Action, ClusterPolicy, Observations};
+use llc_forecast::{Ewma, Forecaster};
+use llc_sim::PowerState;
+
+/// Parameters of the threshold heuristic baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdConfig {
+    /// Utilization above which another computer is switched on.
+    pub rho_hi: f64,
+    /// Utilization below which a computer is switched off.
+    pub rho_lo: f64,
+    /// Headroom factor when picking a DVFS setting (φ chosen so that
+    /// capacity ≥ margin · offered load).
+    pub margin: f64,
+    /// Act every this many base ticks (matching the L1 period keeps the
+    /// comparison fair).
+    pub period_ticks: u64,
+}
+
+impl Default for ThresholdConfig {
+    fn default() -> Self {
+        ThresholdConfig {
+            rho_hi: 0.75,
+            rho_lo: 0.35,
+            margin: 1.2,
+            period_ticks: 4,
+        }
+    }
+}
+
+/// The reactive threshold heuristic the paper argues against (§1 cites
+/// Pinheiro et al. and Elnozahy et al.): "the number of computers and
+/// their speeds are increased (decreased) if processor utilization
+/// exceeds (falls below) specified threshold values."
+///
+/// Per module, every `period_ticks`: estimate the offered load from the
+/// last window, compute utilization against active capacity, switch one
+/// computer on/off across the thresholds, split load proportional to
+/// capacity, and set each active computer's frequency to the smallest
+/// setting with `margin` headroom. Purely reactive — no forecasting, no
+/// lookahead, no switching cost.
+#[derive(Debug, Clone)]
+pub struct ThresholdPolicy {
+    config: ThresholdConfig,
+    /// (speed, phis) per computer, grouped by module.
+    members: Vec<Vec<(f64, Vec<f64>)>>,
+    /// Global index of each module's first computer.
+    module_base: Vec<usize>,
+    c_filter: Ewma,
+    module_arrivals: Vec<u64>,
+    global_arrivals: u64,
+    /// Number of operating computers decided at each acting tick.
+    active_history: Vec<(u64, usize)>,
+}
+
+impl ThresholdPolicy {
+    /// Build for a cluster layout: per module, per computer
+    /// `(speed, φ-table)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty layout.
+    pub fn new(config: ThresholdConfig, members: Vec<Vec<(f64, Vec<f64>)>>) -> Self {
+        assert!(
+            !members.is_empty() && members.iter().all(|m| !m.is_empty()),
+            "layout must be non-empty"
+        );
+        let num_modules = members.len();
+        let module_base = {
+            let mut acc = 0;
+            members
+                .iter()
+                .map(|m| {
+                    let base = acc;
+                    acc += m.len();
+                    base
+                })
+                .collect()
+        };
+        ThresholdPolicy {
+            config,
+            members,
+            module_base,
+            c_filter: Ewma::paper_default(),
+            module_arrivals: vec![0; num_modules],
+            global_arrivals: 0,
+            active_history: Vec::new(),
+        }
+    }
+
+    /// Active-count decisions over time (comparison series for Fig. 4/6).
+    pub fn active_history(&self) -> &[(u64, usize)] {
+        &self.active_history
+    }
+
+    fn c_estimate(&self) -> f64 {
+        let c = self.c_filter.estimate();
+        if c > 0.0 {
+            c
+        } else {
+            0.0175
+        }
+    }
+}
+
+impl ClusterPolicy for ThresholdPolicy {
+    fn decide(&mut self, obs: &Observations) -> Vec<Action> {
+        // Track service times (reference demand) and arrivals.
+        for comp in &obs.computers {
+            if let Some(c) = comp.mean_demand {
+                // mean_demand is machine-local; re-reference by speed.
+                let j = comp.index - self.module_base[comp.module];
+                let speed = self.members[comp.module][j].0;
+                self.c_filter.observe(c * speed);
+            }
+        }
+        for module in &obs.modules {
+            self.module_arrivals[module.index] += module.arrivals;
+            self.global_arrivals += module.arrivals;
+        }
+        if obs.tick % self.config.period_ticks != 0 {
+            return Vec::new();
+        }
+
+        let mut actions = Vec::new();
+        let c_ref = self.c_estimate();
+        let window = self.config.period_ticks as f64 * 30.0;
+        let mut total_active = 0usize;
+
+        // Global split proportional to module capacity (the heuristic has
+        // no cost model to do better).
+        let module_capacity: Vec<f64> = self
+            .members
+            .iter()
+            .map(|m| m.iter().map(|(s, _)| s / c_ref).sum())
+            .collect();
+        actions.push(Action::SetModuleWeights(module_capacity.clone()));
+
+        let module_arrivals = std::mem::take(&mut self.module_arrivals);
+        self.module_arrivals = vec![0; module_arrivals.len()];
+        for (m, module_members) in self.members.iter().enumerate() {
+            let lambda = module_arrivals[m] as f64 / window;
+            let base = self.module_base[m];
+
+            let mut active: Vec<bool> = (0..module_members.len())
+                .map(|j| !matches!(obs.computers[base + j].state, PowerState::Off))
+                .collect();
+            let capacity = |act: &[bool]| -> f64 {
+                act.iter()
+                    .zip(module_members)
+                    .filter(|(&a, _)| a)
+                    .map(|(_, (s, _))| s / c_ref)
+                    .sum::<f64>()
+            };
+
+            let mut cap = capacity(&active);
+            let rho = if cap > 0.0 { lambda / cap } else { f64::INFINITY };
+
+            if rho > self.config.rho_hi {
+                // Switch on the fastest inactive computer.
+                if let Some(j) = (0..module_members.len())
+                    .filter(|&j| !active[j])
+                    .max_by(|&a, &b| module_members[a].0.total_cmp(&module_members[b].0))
+                {
+                    active[j] = true;
+                    actions.push(Action::PowerOn(base + j));
+                }
+            } else if rho < self.config.rho_lo
+                && active.iter().filter(|&&a| a).count() > 1
+            {
+                // Switch off the slowest active computer.
+                if let Some(j) = (0..module_members.len())
+                    .filter(|&j| active[j])
+                    .min_by(|&a, &b| module_members[a].0.total_cmp(&module_members[b].0))
+                {
+                    active[j] = false;
+                    actions.push(Action::PowerOff(base + j));
+                }
+            }
+            cap = capacity(&active);
+            total_active += active.iter().filter(|&&a| a).count();
+
+            // Split proportional to capacity; DVFS with margin headroom.
+            let weights: Vec<f64> = active
+                .iter()
+                .zip(module_members)
+                .map(|(&a, (s, _))| if a { s / c_ref } else { 0.0 })
+                .collect();
+            actions.push(Action::SetComputerWeights(m, weights.clone()));
+
+            for (j, (speed, phis)) in module_members.iter().enumerate() {
+                if !active[j] {
+                    continue;
+                }
+                let share = if cap > 0.0 { (speed / c_ref) / cap } else { 0.0 };
+                let lambda_j = lambda * share;
+                // Local demand on this machine.
+                let c_local = c_ref / speed;
+                let needed_phi = (lambda_j * c_local * self.config.margin).min(1.0);
+                let index = phis
+                    .iter()
+                    .position(|&p| p >= needed_phi)
+                    .unwrap_or(phis.len() - 1);
+                actions.push(Action::SetFrequency(base + j, index));
+            }
+        }
+        self.active_history.push((obs.tick, total_active));
+        actions
+    }
+
+    fn name(&self) -> &str {
+        "threshold-heuristic"
+    }
+}
+
+/// The null baseline: every computer on at maximum frequency, load split
+/// proportional to capacity. Maximum performance, maximum energy.
+#[derive(Debug, Clone)]
+pub struct AlwaysMaxPolicy {
+    /// (speed, table length) per computer, grouped by module.
+    members: Vec<Vec<(f64, usize)>>,
+    initialized: bool,
+}
+
+impl AlwaysMaxPolicy {
+    /// Build for a cluster layout: per module, per computer
+    /// `(speed, number_of_frequency_settings)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty layout.
+    pub fn new(members: Vec<Vec<(f64, usize)>>) -> Self {
+        assert!(
+            !members.is_empty() && members.iter().all(|m| !m.is_empty()),
+            "layout must be non-empty"
+        );
+        AlwaysMaxPolicy {
+            members,
+            initialized: false,
+        }
+    }
+}
+
+impl ClusterPolicy for AlwaysMaxPolicy {
+    fn decide(&mut self, obs: &Observations) -> Vec<Action> {
+        if self.initialized {
+            // Re-assert power-on for anything found off (e.g. drained).
+            return obs
+                .computers
+                .iter()
+                .filter(|c| matches!(c.state, PowerState::Off))
+                .map(|c| Action::PowerOn(c.index))
+                .collect();
+        }
+        self.initialized = true;
+        let mut actions = Vec::new();
+        let module_caps: Vec<f64> = self
+            .members
+            .iter()
+            .map(|m| m.iter().map(|(s, _)| *s).sum())
+            .collect();
+        actions.push(Action::SetModuleWeights(module_caps));
+        let mut index = 0usize;
+        for (m, module) in self.members.iter().enumerate() {
+            let weights: Vec<f64> = module.iter().map(|(s, _)| *s).collect();
+            actions.push(Action::SetComputerWeights(m, weights));
+            for (_, table_len) in module {
+                actions.push(Action::PowerOn(index));
+                actions.push(Action::SetFrequency(index, table_len - 1));
+                index += 1;
+            }
+        }
+        actions
+    }
+
+    fn name(&self) -> &str {
+        "always-max"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ComputerObs, ModuleObs};
+
+    fn layout() -> Vec<Vec<(f64, Vec<f64>)>> {
+        vec![vec![
+            (1.0, vec![0.5, 1.0]),
+            (0.8, vec![0.25, 0.5, 0.75, 1.0]),
+        ]]
+    }
+
+    fn obs(tick: u64, arrivals: u64, states: Vec<PowerState>) -> Observations {
+        let computers = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, state)| ComputerObs {
+                index: i,
+                module: 0,
+                queue: 0,
+                arrivals: arrivals / 2,
+                completions: 10,
+                mean_response: Some(0.5),
+                mean_demand: Some(0.0175),
+                state,
+                frequency_index: 0,
+            })
+            .collect();
+        Observations {
+            tick,
+            time: tick as f64 * 30.0,
+            computers,
+            modules: vec![ModuleObs {
+                index: 0,
+                arrivals,
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn threshold_scales_up_under_load() {
+        let mut p = ThresholdPolicy::new(ThresholdConfig::default(), layout());
+        // Huge arrival window -> utilization far above rho_hi.
+        let o = obs(0, 120 * 120, vec![PowerState::On, PowerState::Off]);
+        let actions = p.decide(&o);
+        assert!(
+            actions.contains(&Action::PowerOn(1)),
+            "must recruit the off computer: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn threshold_scales_down_when_idle() {
+        let mut p = ThresholdPolicy::new(ThresholdConfig::default(), layout());
+        let o = obs(0, 10, vec![PowerState::On, PowerState::On]);
+        let actions = p.decide(&o);
+        assert!(
+            actions.iter().any(|a| matches!(a, Action::PowerOff(_))),
+            "must shed a computer: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn threshold_acts_only_on_period() {
+        let mut p = ThresholdPolicy::new(ThresholdConfig::default(), layout());
+        let o = obs(1, 1000, vec![PowerState::On, PowerState::On]);
+        assert!(p.decide(&o).is_empty(), "off-period ticks are observation-only");
+    }
+
+    #[test]
+    fn always_max_turns_everything_on_once() {
+        let mut p = AlwaysMaxPolicy::new(vec![vec![(1.0, 2), (0.8, 4)]]);
+        let o = obs(0, 100, vec![PowerState::Off, PowerState::Off]);
+        let actions = p.decide(&o);
+        assert!(actions.contains(&Action::PowerOn(0)));
+        assert!(actions.contains(&Action::PowerOn(1)));
+        assert!(actions.contains(&Action::SetFrequency(0, 1)));
+        assert!(actions.contains(&Action::SetFrequency(1, 3)));
+        // Second call with everything on: nothing to do.
+        let o2 = obs(1, 100, vec![PowerState::On, PowerState::On]);
+        assert!(p.decide(&o2).is_empty());
+    }
+}

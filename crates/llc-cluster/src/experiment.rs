@@ -1,0 +1,456 @@
+use crate::policy::{Action, ClusterPolicy, ComputerObs, ModuleObs, Observations};
+use llc_sim::{ClusterConfig, ClusterSim, SimError};
+use llc_workload::{derive_seed, spread_arrivals, RequestSampler, Trace, VirtualStore};
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// One base-tick record of an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickRecord {
+    /// Base tick index.
+    pub tick: u64,
+    /// Window start time (seconds).
+    pub time: f64,
+    /// Requests injected during the window.
+    pub arrivals: u64,
+    /// Requests completed during the window (cluster-wide).
+    pub completions: u64,
+    /// Mean response time of the window's completions, if any.
+    pub mean_response: Option<f64>,
+    /// Computers active (on/booting/draining) after this tick's actions.
+    pub active: usize,
+    /// Frequency index per computer after this tick's actions.
+    pub frequency_indices: Vec<usize>,
+    /// Mean response per computer for this window.
+    pub computer_responses: Vec<Option<f64>>,
+    /// Total queued requests at the sampling instant.
+    pub queue_total: usize,
+    /// Per-computer queue lengths at the end of the window.
+    pub queues: Vec<usize>,
+    /// Per-computer activity (on/booting/draining) at the end of the window.
+    pub active_flags: Vec<bool>,
+    /// Cumulative energy at the end of the window.
+    pub energy: f64,
+    /// Cumulative dropped requests at the end of the window.
+    pub dropped: u64,
+    /// Wall-clock time the policy spent deciding at this tick.
+    pub decision_time: Duration,
+}
+
+/// Aggregate outcome of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSummary {
+    /// Policy name.
+    pub policy: String,
+    /// Total requests injected.
+    pub total_arrivals: u64,
+    /// Total completions.
+    pub total_completions: u64,
+    /// Mean response time over all completions (seconds).
+    pub mean_response: f64,
+    /// Fraction of windows whose mean response exceeded the target.
+    pub violation_fraction: f64,
+    /// Total energy (power·seconds).
+    pub total_energy: f64,
+    /// Total dropped requests.
+    pub total_dropped: u64,
+    /// Total switch-on transitions across computers.
+    pub total_switch_ons: u64,
+    /// Mean policy decision time per tick.
+    pub mean_decision_time: Duration,
+}
+
+/// The full log of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentLog {
+    /// Policy name.
+    pub policy: String,
+    /// Response-time target used for violation accounting.
+    pub response_target: f64,
+    /// Per-tick records.
+    pub ticks: Vec<TickRecord>,
+    /// Switch-on transitions across all computers over the whole run.
+    pub(crate) total_switch_ons: u64,
+}
+
+impl ExperimentLog {
+    /// Summarize the run.
+    pub fn summary(&self) -> ExperimentSummary {
+        let total_arrivals: u64 = self.ticks.iter().map(|t| t.arrivals).sum();
+        let total_completions: u64 = self.ticks.iter().map(|t| t.completions).sum();
+        let weighted_response: f64 = self
+            .ticks
+            .iter()
+            .filter_map(|t| t.mean_response.map(|r| r * t.completions as f64))
+            .sum();
+        let mean_response = if total_completions > 0 {
+            weighted_response / total_completions as f64
+        } else {
+            0.0
+        };
+        let windows_with_completions = self
+            .ticks
+            .iter()
+            .filter(|t| t.mean_response.is_some())
+            .count();
+        let violations = self
+            .ticks
+            .iter()
+            .filter(|t| t.mean_response.is_some_and(|r| r > self.response_target))
+            .count();
+        let violation_fraction = if windows_with_completions > 0 {
+            violations as f64 / windows_with_completions as f64
+        } else {
+            0.0
+        };
+        let decision_total: Duration = self.ticks.iter().map(|t| t.decision_time).sum();
+        ExperimentSummary {
+            policy: self.policy.clone(),
+            total_arrivals,
+            total_completions,
+            mean_response,
+            violation_fraction,
+            total_energy: self.ticks.last().map_or(0.0, |t| t.energy),
+            total_dropped: self.ticks.last().map_or(0, |t| t.dropped),
+            total_switch_ons: self.total_switch_ons,
+            mean_decision_time: if self.ticks.is_empty() {
+                Duration::ZERO
+            } else {
+                decision_total / self.ticks.len() as u32
+            },
+        }
+    }
+
+    /// The number-of-active-computers series (Fig. 4 bottom, Fig. 6
+    /// bottom).
+    pub fn active_series(&self) -> Vec<(f64, usize)> {
+        self.ticks.iter().map(|t| (t.time, t.active)).collect()
+    }
+
+    /// The frequency series of one computer (Fig. 5 top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `computer` is out of range.
+    pub fn frequency_series(&self, computer: usize) -> Vec<(f64, usize)> {
+        self.ticks
+            .iter()
+            .map(|t| (t.time, t.frequency_indices[computer]))
+            .collect()
+    }
+
+    /// The per-window mean response series of one computer (Fig. 5
+    /// bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `computer` is out of range.
+    pub fn response_series(&self, computer: usize) -> Vec<(f64, Option<f64>)> {
+        self.ticks
+            .iter()
+            .map(|t| (t.time, t.computer_responses[computer]))
+            .collect()
+    }
+
+    /// Cluster-wide per-window mean response series.
+    pub fn cluster_response_series(&self) -> Vec<(f64, Option<f64>)> {
+        self.ticks
+            .iter()
+            .map(|t| (t.time, t.mean_response))
+            .collect()
+    }
+
+    /// Total switch-on transitions (chattering metric), recorded at the
+    /// end of the run.
+    pub fn total_switch_ons(&self) -> u64 {
+        self.total_switch_ons
+    }
+}
+
+/// Driver: runs a [`ClusterPolicy`] against the simulated cluster fed by
+/// a workload trace and the virtual store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Base sampling period `T_L0` (seconds per tick).
+    pub t_l0: f64,
+    /// Master seed for arrival spreading and the request sampler.
+    pub seed: u64,
+    /// Start with every computer already `On` with capacity-proportional
+    /// weights (the paper's figures begin with an operating cluster).
+    pub prewarmed: bool,
+    /// Response-time target for violation accounting.
+    pub response_target: f64,
+}
+
+impl Experiment {
+    /// Paper-default driver: 30 s ticks, pre-warmed cluster, `r* = 4 s`.
+    pub fn paper_default(seed: u64) -> Self {
+        Experiment {
+            t_l0: 30.0,
+            seed,
+            prewarmed: true,
+            response_target: 4.0,
+        }
+    }
+
+    /// Run `policy` against a cluster built from `sim_config`, driven by
+    /// `trace` (arrivals per bucket; rebucketed to the tick length) with
+    /// request bodies drawn from `store`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] (cannot occur with a well-formed trace) and
+    /// trace rebucketing errors as a panic with context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's bucket width is incompatible with `t_l0`.
+    pub fn run(
+        &self,
+        sim_config: ClusterConfig,
+        policy: &mut dyn ClusterPolicy,
+        trace: &Trace,
+        store: &VirtualStore,
+    ) -> Result<ExperimentLog, SimError> {
+        let ticks_trace = trace
+            .rebucket(self.t_l0)
+            .expect("trace bucket width must be an integer ratio of t_l0");
+        let mut sim = ClusterSim::new(sim_config);
+        let num_computers = sim.num_computers();
+        let num_modules = sim.num_modules();
+
+        if self.prewarmed {
+            for i in 0..num_computers {
+                sim.force_on(i);
+            }
+            sim.set_module_weights(&vec![1.0; num_modules])?;
+            for m in 0..num_modules {
+                let len = sim.module_members(m).len();
+                sim.set_computer_weights(m, &vec![1.0; len])?;
+            }
+        }
+
+        let mut sampler = RequestSampler::paper_default(store, self.seed);
+        let mut spread_rng =
+            rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, 0xA121));
+        let mut log = ExperimentLog {
+            policy: policy.name().to_string(),
+            response_target: self.response_target,
+            ticks: Vec::with_capacity(ticks_trace.len()),
+            total_switch_ons: 0,
+        };
+
+        // Previous-window stats start empty.
+        let mut prev_comp_stats = vec![llc_sim::WindowStats::default(); num_computers];
+        let mut prev_mod_stats = vec![llc_sim::WindowStats::default(); num_modules];
+
+        for tick in 0..ticks_trace.len() as u64 {
+            let t = tick as f64 * self.t_l0;
+
+            // 1. Observe: previous window + instantaneous state.
+            let computers: Vec<ComputerObs> = (0..num_computers)
+                .map(|i| {
+                    let c = sim.computer(i);
+                    let module = (0..num_modules)
+                        .find(|&m| sim.module_members(m).contains(&i))
+                        .expect("every computer belongs to a module");
+                    let w = &prev_comp_stats[i];
+                    ComputerObs {
+                        index: i,
+                        module,
+                        queue: c.queue_length(),
+                        arrivals: w.arrivals,
+                        completions: w.completions,
+                        mean_response: w.mean_response(),
+                        mean_demand: w.mean_demand(),
+                        state: c.state(),
+                        frequency_index: c.frequency_index(),
+                    }
+                })
+                .collect();
+            let modules: Vec<ModuleObs> = (0..num_modules)
+                .map(|m| ModuleObs {
+                    index: m,
+                    arrivals: prev_mod_stats[m].arrivals,
+                    dropped: prev_mod_stats[m].dropped,
+                })
+                .collect();
+            let obs = Observations {
+                tick,
+                time: t,
+                computers,
+                modules,
+            };
+
+            // 2. Decide and actuate.
+            let started = Instant::now();
+            let actions = policy.decide(&obs);
+            let decision_time = started.elapsed();
+            for action in actions {
+                match action {
+                    Action::PowerOn(i) => sim.power_on(i),
+                    Action::PowerOff(i) => sim.power_off(i),
+                    Action::SetFrequency(i, f) => sim.set_frequency(i, f),
+                    Action::SetModuleWeights(w) => sim.set_module_weights(&w)?,
+                    Action::SetComputerWeights(m, w) => sim.set_computer_weights(m, &w)?,
+                }
+            }
+
+            // 3. Inject this window's arrivals and advance the plant.
+            let count = ticks_trace.count(tick as usize).round().max(0.0) as usize;
+            let times = spread_arrivals(&mut spread_rng, t, self.t_l0, count);
+            for at in times {
+                let (_, demand) = sampler.next_request();
+                sim.schedule_arrival(at, demand)?;
+            }
+            sim.run_until(t + self.t_l0)?;
+
+            // 4. Drain window stats and record.
+            prev_comp_stats = sim.drain_computer_stats();
+            prev_mod_stats = sim.drain_module_stats();
+            let completions: u64 = prev_comp_stats.iter().map(|w| w.completions).sum();
+            let response_sum: f64 = prev_comp_stats.iter().map(|w| w.response_sum).sum();
+            log.ticks.push(TickRecord {
+                tick,
+                time: t,
+                arrivals: count as u64,
+                completions,
+                mean_response: if completions > 0 {
+                    Some(response_sum / completions as f64)
+                } else {
+                    None
+                },
+                active: sim.active_count(),
+                frequency_indices: (0..num_computers)
+                    .map(|i| sim.computer(i).frequency_index())
+                    .collect(),
+                computer_responses: prev_comp_stats
+                    .iter()
+                    .map(|w| w.mean_response())
+                    .collect(),
+                queue_total: (0..num_computers)
+                    .map(|i| sim.computer(i).queue_length())
+                    .sum(),
+                queues: (0..num_computers)
+                    .map(|i| sim.computer(i).queue_length())
+                    .collect(),
+                active_flags: (0..num_computers)
+                    .map(|i| sim.computer(i).is_active())
+                    .collect(),
+                energy: sim.total_energy(),
+                dropped: sim.dropped(),
+                decision_time,
+            });
+        }
+
+        log.total_switch_ons = (0..num_computers)
+            .map(|i| sim.computer(i).switch_ons())
+            .sum();
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::AlwaysMaxPolicy;
+    use llc_workload::Trace;
+
+    fn tiny_cluster() -> ClusterConfig {
+        use llc_sim::{ComputerConfig, PowerModel};
+        ClusterConfig {
+            modules: vec![vec![
+                ComputerConfig::new(vec![1.0e9, 2.0e9], PowerModel::paper_default(), 120.0),
+                ComputerConfig::new(vec![1.0e9, 2.0e9], PowerModel::paper_default(), 120.0),
+            ]],
+        }
+    }
+
+    fn flat_trace(buckets: usize, per_bucket: f64) -> Trace {
+        Trace::new(30.0, vec![per_bucket; buckets]).unwrap()
+    }
+
+    #[test]
+    fn always_max_serves_everything() {
+        let store = VirtualStore::paper_default(1);
+        let mut policy = AlwaysMaxPolicy::new(vec![vec![(1.0, 2), (1.0, 2)]]);
+        let exp = Experiment::paper_default(7);
+        let log = exp
+            .run(tiny_cluster(), &mut policy, &flat_trace(20, 300.0), &store)
+            .unwrap();
+        let s = log.summary();
+        assert_eq!(s.total_arrivals, 6000);
+        assert_eq!(s.total_dropped, 0);
+        // 300 req / 30 s = 10 req/s split over two fast machines: no
+        // queueing to speak of, responses well under the target.
+        assert!(s.mean_response < 0.5, "mean response {}", s.mean_response);
+        assert!(s.violation_fraction < 0.05);
+        assert!(s.total_completions > 5_500);
+        assert!(s.total_energy > 0.0);
+    }
+
+    #[test]
+    fn log_series_have_tick_length() {
+        let store = VirtualStore::paper_default(2);
+        let mut policy = AlwaysMaxPolicy::new(vec![vec![(1.0, 2), (1.0, 2)]]);
+        let exp = Experiment::paper_default(8);
+        let log = exp
+            .run(tiny_cluster(), &mut policy, &flat_trace(10, 100.0), &store)
+            .unwrap();
+        assert_eq!(log.ticks.len(), 10);
+        assert_eq!(log.active_series().len(), 10);
+        assert_eq!(log.frequency_series(0).len(), 10);
+        assert_eq!(log.response_series(1).len(), 10);
+        // Energy is cumulative, hence non-decreasing.
+        assert!(log
+            .ticks
+            .windows(2)
+            .all(|w| w[1].energy >= w[0].energy - 1e-9));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_log() {
+        let store = VirtualStore::paper_default(3);
+        let exp = Experiment::paper_default(9);
+        let mut p1 = AlwaysMaxPolicy::new(vec![vec![(1.0, 2), (1.0, 2)]]);
+        let mut p2 = AlwaysMaxPolicy::new(vec![vec![(1.0, 2), (1.0, 2)]]);
+        let l1 = exp
+            .run(tiny_cluster(), &mut p1, &flat_trace(8, 200.0), &store)
+            .unwrap();
+        let l2 = exp
+            .run(tiny_cluster(), &mut p2, &flat_trace(8, 200.0), &store)
+            .unwrap();
+        // Decision timings are wall-clock and may differ; compare the
+        // physically meaningful fields.
+        for (a, b) in l1.ticks.iter().zip(&l2.ticks) {
+            assert_eq!(a.arrivals, b.arrivals);
+            assert_eq!(a.completions, b.completions);
+            assert_eq!(a.mean_response, b.mean_response);
+            assert_eq!(a.energy, b.energy);
+        }
+    }
+
+    #[test]
+    fn cold_cluster_drops_until_powered() {
+        let store = VirtualStore::paper_default(4);
+        struct DoNothing;
+        impl ClusterPolicy for DoNothing {
+            fn decide(&mut self, _o: &Observations) -> Vec<Action> {
+                Vec::new()
+            }
+            fn name(&self) -> &str {
+                "do-nothing"
+            }
+        }
+        let mut policy = DoNothing;
+        let exp = Experiment {
+            prewarmed: false,
+            ..Experiment::paper_default(5)
+        };
+        let log = exp
+            .run(tiny_cluster(), &mut policy, &flat_trace(4, 50.0), &store)
+            .unwrap();
+        let s = log.summary();
+        assert_eq!(s.total_dropped, s.total_arrivals, "nothing on, all dropped");
+    }
+}

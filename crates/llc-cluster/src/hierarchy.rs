@@ -1,0 +1,467 @@
+use crate::l1::{AbstractionMap, L1Controller};
+use crate::l2::{L2Controller, ModuleCostModel, ModuleState};
+use crate::policy::{Action, ClusterPolicy, Observations};
+use crate::{L0Controller, ScenarioConfig};
+use llc_sim::PowerState;
+use std::time::{Duration, Instant};
+
+/// Wall-clock overhead accounting per hierarchy level.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelOverhead {
+    /// Total time spent deciding at this level.
+    pub total: Duration,
+    /// Number of decisions taken.
+    pub decisions: u64,
+}
+
+impl LevelOverhead {
+    fn record(&mut self, elapsed: Duration) {
+        self.total += elapsed;
+        self.decisions += 1;
+    }
+
+    /// Mean decision time, or zero before any decision.
+    pub fn mean(&self) -> Duration {
+        if self.decisions == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.decisions as u32
+        }
+    }
+}
+
+/// The complete three-level controller of Fig. 2, implementing
+/// [`ClusterPolicy`]: L2 splits global load over modules, each module's
+/// L1 picks `{α, γ}`, each computer's L0 picks the frequency. Offline
+/// learning (abstraction maps, module trees) happens in
+/// [`HierarchicalPolicy::build`].
+#[derive(Debug)]
+pub struct HierarchicalPolicy {
+    l0s: Vec<L0Controller>,
+    l1s: Vec<L1Controller>,
+    l2: Option<L2Controller>,
+    /// Global computer indices per module.
+    members: Vec<Vec<usize>>,
+    /// Prior mean local processing time per module (c_factor reference).
+    module_c_priors: Vec<f64>,
+    /// T_L1 / T_L0.
+    l1_every: u64,
+    /// T_L2 / T_L0.
+    l2_every: u64,
+    // Accumulators between slow-level ticks.
+    module_arrivals_acc: Vec<u64>,
+    global_arrivals_acc: u64,
+    member_demand_sum: Vec<f64>,
+    member_demand_n: Vec<u64>,
+    // Decision histories backing the figures.
+    active_history: Vec<(u64, usize)>,
+    gamma_module_history: Vec<(u64, Vec<f64>)>,
+    // Overhead accounting, indexed L0 = 0, L1 = 1, L2 = 2.
+    overhead: [LevelOverhead; 3],
+}
+
+impl HierarchicalPolicy {
+    /// Build the full hierarchy for a scenario, running the offline
+    /// learning passes (L0-model replay for every abstraction map; module
+    /// simulation for every regression tree when more than one module
+    /// exists).
+    pub fn build(scenario: &ScenarioConfig) -> Self {
+        let specs = scenario.member_specs();
+        let mut l0s = Vec::new();
+        let mut l1s = Vec::new();
+        let mut members = Vec::new();
+        let mut module_c_priors = Vec::new();
+        let mut module_models = Vec::new();
+        let mut next_index = 0usize;
+
+        for module_specs in &specs {
+            let maps: Vec<AbstractionMap> = module_specs
+                .iter()
+                .map(|m| {
+                    // λ grid reaches 2× the capacity at the *fastest*
+                    // service time in range so the overload knee is always
+                    // inside the trained surface (extrapolation beyond the
+                    // grid then continues an already-overloaded slope).
+                    AbstractionMap::learn(
+                        &scenario.l0,
+                        &m.phis,
+                        (m.c_prior * 0.6, m.c_prior * 1.6),
+                        2.0 / (m.c_prior * 0.6),
+                        200.0,
+                        scenario.learn,
+                    )
+                })
+                .collect();
+
+            if specs.len() > 1 {
+                // Offered-load ceiling for the module tree: the sum of
+                // member peak rates with some overload headroom.
+                let capacity: f64 = module_specs.iter().map(|m| m.speed / m.c_prior).sum();
+                module_models.push(ModuleCostModel::learn(
+                    &scenario.l1,
+                    module_specs,
+                    &maps,
+                    capacity * 1.3,
+                    scenario.module_learn,
+                ));
+            }
+
+            let indices: Vec<usize> =
+                (next_index..next_index + module_specs.len()).collect();
+            next_index += module_specs.len();
+            members.push(indices);
+            module_c_priors.push(
+                module_specs.iter().map(|m| m.c_prior).sum::<f64>()
+                    / module_specs.len() as f64,
+            );
+            for m in module_specs {
+                l0s.push(L0Controller::new(scenario.l0, m.phis.clone()));
+            }
+            l1s.push(L1Controller::new(
+                scenario.l1,
+                module_specs.clone(),
+                maps,
+            ));
+        }
+
+        let l2 = if specs.len() > 1 {
+            let mut controller = L2Controller::new(scenario.l2, module_models);
+            // Start from a capacity-proportional split: with no workload
+            // observed yet, cost cannot distinguish candidates.
+            let capacities: Vec<f64> = specs
+                .iter()
+                .map(|module| module.iter().map(|m| m.speed / m.c_prior).sum())
+                .collect();
+            controller.set_initial_split(capacities);
+            Some(controller)
+        } else {
+            None
+        };
+
+        let l1_every = (scenario.l1.period / scenario.l0.period).round() as u64;
+        let l2_every = (scenario.l2.period / scenario.l0.period).round() as u64;
+        let num_modules = members.len();
+        let num_computers = l0s.len();
+        HierarchicalPolicy {
+            l0s,
+            l1s,
+            l2,
+            members,
+            module_c_priors,
+            l1_every: l1_every.max(1),
+            l2_every: l2_every.max(1),
+            module_arrivals_acc: vec![0; num_modules],
+            global_arrivals_acc: 0,
+            member_demand_sum: vec![0.0; num_computers],
+            member_demand_n: vec![0; num_computers],
+            active_history: Vec::new(),
+            gamma_module_history: Vec::new(),
+            overhead: [LevelOverhead::default(); 3],
+        }
+    }
+
+    /// Number of computers managed.
+    pub fn num_computers(&self) -> usize {
+        self.l0s.len()
+    }
+
+    /// Number of modules managed.
+    pub fn num_modules(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// Number of operating (α = 1) computers decided at each L1 tick —
+    /// the series plotted in Fig. 4 (module) and Fig. 6 (cluster).
+    pub fn active_history(&self) -> &[(u64, usize)] {
+        &self.active_history
+    }
+
+    /// The module split `{γ_i}` decided at each L2 tick — Fig. 7.
+    pub fn gamma_module_history(&self) -> &[(u64, Vec<f64>)] {
+        &self.gamma_module_history
+    }
+
+    /// The L1 controller of module `m` (forecast history, overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn l1(&self, m: usize) -> &L1Controller {
+        &self.l1s[m]
+    }
+
+    /// The L2 controller, if the scenario has multiple modules.
+    pub fn l2(&self) -> Option<&L2Controller> {
+        self.l2.as_ref()
+    }
+
+    /// The L0 controller of computer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn l0(&self, i: usize) -> &L0Controller {
+        &self.l0s[i]
+    }
+
+    /// Per-level wall-clock overhead, indexed `[L0, L1, L2]`.
+    pub fn overhead(&self) -> &[LevelOverhead; 3] {
+        &self.overhead
+    }
+
+    /// The §5.2 overhead metric: mean execution time along one hierarchy
+    /// path (one L2 + one L1 + one L0 decision).
+    pub fn path_overhead(&self) -> Duration {
+        self.overhead[0].mean() + self.overhead[1].mean() + self.overhead[2].mean()
+    }
+}
+
+impl ClusterPolicy for HierarchicalPolicy {
+    fn decide(&mut self, obs: &Observations) -> Vec<Action> {
+        let mut actions = Vec::new();
+
+        // Accumulate windows and feed the per-computer forecasters.
+        for comp in &obs.computers {
+            self.l0s[comp.index].observe(comp.arrivals, comp.mean_demand);
+            if let Some(c) = comp.mean_demand {
+                self.member_demand_sum[comp.index] += c;
+                self.member_demand_n[comp.index] += 1;
+            }
+        }
+        for module in &obs.modules {
+            self.module_arrivals_acc[module.index] += module.arrivals;
+            self.global_arrivals_acc += module.arrivals;
+        }
+
+        // --- L2: split global load over modules (top-down first). ---
+        if obs.tick % self.l2_every == 0 {
+            if let Some(l2) = self.l2.as_mut() {
+                let started = Instant::now();
+                l2.observe(self.global_arrivals_acc);
+                self.global_arrivals_acc = 0;
+                let states: Vec<ModuleState> = (0..self.members.len())
+                    .map(|m| {
+                        let qs: f64 = self.members[m]
+                            .iter()
+                            .map(|&i| obs.computers[i].queue as f64)
+                            .sum();
+                        let active = self.members[m]
+                            .iter()
+                            .filter(|&&i| {
+                                !matches!(obs.computers[i].state, PowerState::Off)
+                            })
+                            .count();
+                        ModuleState {
+                            c_factor: self.l1s[m].module_c_estimate()
+                                / self.module_c_priors[m],
+                            queue_mean: qs / self.members[m].len() as f64,
+                            active,
+                        }
+                    })
+                    .collect();
+                let decision = l2.decide(&states);
+                self.gamma_module_history
+                    .push((obs.tick, decision.gamma.clone()));
+                actions.push(Action::SetModuleWeights(decision.gamma));
+                self.overhead[2].record(started.elapsed());
+            } else {
+                self.global_arrivals_acc = 0;
+                // No L2 (single-module scenario): the global dispatcher
+                // still needs weights once, or a cold-started cluster
+                // drops everything at the top-level router.
+                if obs.tick == 0 {
+                    actions.push(Action::SetModuleWeights(vec![1.0]));
+                }
+            }
+        }
+
+        // --- L1: per-module α and γ. ---
+        if obs.tick % self.l1_every == 0 {
+            let mut total_active = 0usize;
+            for m in 0..self.members.len() {
+                let started = Instant::now();
+                let demands: Vec<Option<f64>> = self.members[m]
+                    .iter()
+                    .map(|&i| {
+                        if self.member_demand_n[i] > 0 {
+                            Some(self.member_demand_sum[i] / self.member_demand_n[i] as f64)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                self.l1s[m].observe(self.module_arrivals_acc[m], &demands);
+                self.module_arrivals_acc[m] = 0;
+                for &i in &self.members[m] {
+                    self.member_demand_sum[i] = 0.0;
+                    self.member_demand_n[i] = 0;
+                }
+
+                let queues: Vec<usize> = self.members[m]
+                    .iter()
+                    .map(|&i| obs.computers[i].queue)
+                    .collect();
+                let active: Vec<bool> = self.members[m]
+                    .iter()
+                    .map(|&i| !matches!(obs.computers[i].state, PowerState::Off))
+                    .collect();
+                let decision = self.l1s[m].decide(&queues, &active);
+
+                for (pos, &i) in self.members[m].iter().enumerate() {
+                    let draining =
+                        matches!(obs.computers[i].state, PowerState::Draining);
+                    if decision.alpha[pos] && (!active[pos] || draining) {
+                        // PowerOn also recovers a draining machine to On —
+                        // without it the machine would keep rejecting the
+                        // load share assigned to it.
+                        actions.push(Action::PowerOn(i));
+                    } else if !decision.alpha[pos] && active[pos] && !draining {
+                        actions.push(Action::PowerOff(i));
+                    }
+                }
+                total_active += decision.alpha.iter().filter(|&&a| a).count();
+
+                // A machine ordered on right now boots for the whole
+                // coming period (the dead time equals T_L1): routing its γ
+                // share to it would just hoard requests behind the boot.
+                // Serve this period with the machines that can actually
+                // serve; the newcomer picks up load at the next L1 tick.
+                let mut routed = decision.gamma.clone();
+                let mut reroute = false;
+                for (pos, &i) in self.members[m].iter().enumerate() {
+                    let can_serve = decision.alpha[pos]
+                        && matches!(
+                            obs.computers[i].state,
+                            PowerState::On | PowerState::Draining
+                        );
+                    if !can_serve && routed[pos] > 0.0 {
+                        routed[pos] = 0.0;
+                        reroute = true;
+                    }
+                }
+                let routable: f64 = routed.iter().sum();
+                if reroute && routable <= 0.0 {
+                    // Everything assigned was booting — fall back to the
+                    // decided split rather than dropping the module's load.
+                    routed = decision.gamma.clone();
+                }
+                actions.push(Action::SetComputerWeights(m, routed));
+                self.overhead[1].record(started.elapsed());
+            }
+            self.active_history.push((obs.tick, total_active));
+        }
+
+        // --- L0: per-computer frequency, every tick, active machines. ---
+        for comp in &obs.computers {
+            if matches!(comp.state, PowerState::Off) {
+                continue;
+            }
+            let started = Instant::now();
+            let decision = self.l0s[comp.index]
+                .decide(comp.queue)
+                .expect("frequency table is non-empty");
+            self.overhead[0].record(started.elapsed());
+            if decision.frequency_index != comp.frequency_index {
+                actions.push(Action::SetFrequency(comp.index, decision.frequency_index));
+            }
+        }
+
+        actions
+    }
+
+    fn name(&self) -> &str {
+        "hierarchical-llc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ComputerObs, ModuleObs};
+    use crate::single_module;
+
+    fn obs_for(policy: &HierarchicalPolicy, tick: u64, arrivals_per_comp: u64) -> Observations {
+        let n = policy.num_computers();
+        let computers = (0..n)
+            .map(|i| ComputerObs {
+                index: i,
+                module: 0,
+                queue: 0,
+                arrivals: arrivals_per_comp,
+                completions: arrivals_per_comp,
+                mean_response: Some(0.1),
+                mean_demand: Some(0.0175),
+                state: PowerState::On,
+                frequency_index: 0,
+            })
+            .collect();
+        Observations {
+            tick,
+            time: tick as f64 * 30.0,
+            computers,
+            modules: vec![ModuleObs {
+                index: 0,
+                arrivals: arrivals_per_comp * n as u64,
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn build_matches_scenario_shape() {
+        let scenario = single_module(4).with_coarse_learning();
+        let policy = HierarchicalPolicy::build(&scenario);
+        assert_eq!(policy.num_computers(), 4);
+        assert_eq!(policy.num_modules(), 1);
+        assert!(policy.l2().is_none(), "single module has no L2");
+        assert_eq!(policy.overhead()[0].decisions, 0);
+    }
+
+    #[test]
+    fn first_tick_sets_global_weights_for_single_module() {
+        let scenario = single_module(2).with_coarse_learning();
+        let mut policy = HierarchicalPolicy::build(&scenario);
+        let actions = policy.decide(&obs_for(&policy, 0, 100));
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::SetModuleWeights(w) if w == &vec![1.0])),
+            "tick 0 must set the global dispatch weights: {actions:?}"
+        );
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::SetComputerWeights(0, _))),
+            "tick 0 must set the module's computer weights"
+        );
+    }
+
+    #[test]
+    fn l1_fires_only_on_its_period() {
+        let scenario = single_module(2).with_coarse_learning();
+        let mut policy = HierarchicalPolicy::build(&scenario);
+        let _ = policy.decide(&obs_for(&policy, 0, 100));
+        assert_eq!(policy.active_history().len(), 1);
+        // Ticks 1-3: no L1 decision.
+        for t in 1..4 {
+            let _ = policy.decide(&obs_for(&policy, t, 100));
+            assert_eq!(policy.active_history().len(), 1, "tick {t}");
+        }
+        let _ = policy.decide(&obs_for(&policy, 4, 100));
+        assert_eq!(policy.active_history().len(), 2);
+    }
+
+    #[test]
+    fn overhead_counters_accumulate() {
+        let scenario = single_module(2).with_coarse_learning();
+        let mut policy = HierarchicalPolicy::build(&scenario);
+        for t in 0..8 {
+            let _ = policy.decide(&obs_for(&policy, t, 200));
+        }
+        let overhead = policy.overhead();
+        assert_eq!(overhead[1].decisions, 2, "two L1 periods in 8 ticks");
+        assert_eq!(overhead[0].decisions, 16, "2 computers x 8 ticks of L0");
+        assert!(policy.path_overhead() > Duration::ZERO);
+        assert_eq!(policy.name(), "hierarchical-llc");
+    }
+}

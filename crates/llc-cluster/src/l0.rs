@@ -1,0 +1,443 @@
+use llc_core::{
+    Decision, Error as LlcError, Forecast, LookaheadController, Penalty, Plant, SearchStats,
+    SetPoint,
+};
+use llc_forecast::{Ewma, Forecaster, LocalLinearTrend};
+
+/// The analytic single-computer queue model of eqns. (5)–(6):
+///
+/// ```text
+/// q̂(k+1) = max(0, q(k) + (λ̂(k) − φ(k)/ĉ(k)) · T)
+/// r̂(k+1) = (1 + q̂(k+1)) · ĉ(k) / φ(k)
+/// ```
+///
+/// Shared between the L0 controller's lookahead and the offline learning
+/// of the L1 abstraction map (which replays exactly this model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueModel {
+    /// Sampling period `T` in seconds.
+    pub period: f64,
+}
+
+impl QueueModel {
+    /// A model stepped every `period` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn new(period: f64) -> Self {
+        assert!(period > 0.0, "sampling period must be positive");
+        QueueModel { period }
+    }
+
+    /// One model step: returns `(q̂(k+1), r̂(k+1))`.
+    ///
+    /// `lambda` is the arrival rate in requests/second, `c` the estimated
+    /// full-speed processing time in seconds, `phi ∈ (0, 1]` the frequency
+    /// scaling factor.
+    pub fn step(&self, q: f64, lambda: f64, c: f64, phi: f64) -> (f64, f64) {
+        debug_assert!(phi > 0.0 && phi <= 1.0, "φ out of range: {phi}");
+        debug_assert!(c > 0.0, "processing time must be positive");
+        let q_next = (q + (lambda - phi / c) * self.period).max(0.0);
+        let r_next = (1.0 + q_next) * c / phi;
+        (q_next, r_next)
+    }
+}
+
+/// Configuration of an L0 (per-computer frequency) controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L0Config {
+    /// Prediction horizon `N_L0` (paper: 3).
+    pub horizon: usize,
+    /// Sampling period `T_L0` in seconds (paper: 30).
+    pub period: f64,
+    /// Response-time violation weight `Q` (paper: 100).
+    pub q_weight: f64,
+    /// Power weight `R` (paper: 1).
+    pub r_weight: f64,
+    /// Desired average response time `r*` in seconds (paper: 4).
+    pub response_target: f64,
+    /// Base operating cost `a` (paper: 0.75).
+    pub base_cost: f64,
+}
+
+impl L0Config {
+    /// The paper's §4.3 parameters.
+    pub fn paper_default() -> Self {
+        L0Config {
+            horizon: 3,
+            period: 30.0,
+            q_weight: 100.0,
+            r_weight: 1.0,
+            response_target: 4.0,
+            base_cost: 0.75,
+        }
+    }
+}
+
+/// Model state carried through the L0 lookahead tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct L0State {
+    q: f64,
+    r: f64,
+}
+
+/// Environment sample: forecast arrival rate and processing time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct L0Env {
+    lambda: f64,
+    c: f64,
+}
+
+/// The [`Plant`] adapter exposing the queue model to the generic
+/// lookahead controller. Inputs are frequency-table indices.
+struct L0Plant<'a> {
+    phis: &'a [f64],
+    model: QueueModel,
+    response: SetPoint,
+    q_penalty: Penalty,
+    r_penalty: Penalty,
+    base_cost: f64,
+}
+
+impl Plant for L0Plant<'_> {
+    type State = L0State;
+    type Input = usize;
+    type Env = L0Env;
+
+    fn admissible(&self, _x: &L0State) -> Vec<usize> {
+        (0..self.phis.len()).collect()
+    }
+
+    fn step(&self, x: &L0State, u: &usize, w: &L0Env) -> L0State {
+        let (q, r) = self.model.step(x.q, w.lambda, w.c, self.phis[*u]);
+        L0State { q, r }
+    }
+
+    fn cost(&self, x_next: &L0State, u: &usize, _prev: Option<&usize>) -> f64 {
+        // Soft response-time constraint ε = max(0, r − r*), heavily
+        // weighted; power ψ = a + φ². Frequency switches are free (§4.1:
+        // "switching between different operating frequencies incurs
+        // negligible power-consumption overhead").
+        let slack = self.response.slack_above(x_next.r);
+        let phi = self.phis[*u];
+        self.q_penalty.eval(slack) + self.r_penalty.eval(self.base_cost + phi * phi)
+    }
+}
+
+/// One L0 decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L0Decision {
+    /// Chosen frequency index into the computer's table.
+    pub frequency_index: usize,
+    /// Predicted cumulative cost over the horizon.
+    pub predicted_cost: f64,
+    /// Search statistics (states explored — the overhead metric).
+    pub stats: SearchStats,
+}
+
+/// The per-computer frequency controller (§4.1).
+///
+/// Owns its own forecasters, as the paper prescribes "an ARIMA model,
+/// implemented by a Kalman filter, to predict load arrivals at both
+/// levels of the control hierarchy" and an EWMA (`π = 0.1`) for the
+/// processing time. Each sampling period it observes the last window
+/// (arrivals routed to this computer, demands of completed requests) and
+/// picks the frequency minimizing the lookahead cost.
+#[derive(Debug, Clone)]
+pub struct L0Controller {
+    config: L0Config,
+    phis: Vec<f64>,
+    controller: LookaheadController,
+    lambda_forecast: LocalLinearTrend,
+    c_filter: Ewma,
+    /// Cumulative states explored (overhead accounting).
+    total_stats: SearchStats,
+    decisions: u64,
+}
+
+impl L0Controller {
+    /// Build a controller for a computer with scaling factors `phis`
+    /// (ascending, last = 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phis` is empty, non-ascending, out of (0, 1], or if the
+    /// config horizon is 0.
+    pub fn new(config: L0Config, phis: Vec<f64>) -> Self {
+        assert!(!phis.is_empty(), "need at least one frequency");
+        assert!(
+            phis.windows(2).all(|w| w[0] < w[1]),
+            "φ values must be ascending"
+        );
+        assert!(
+            phis[0] > 0.0 && *phis.last().expect("non-empty") <= 1.0 + 1e-12,
+            "φ values must lie in (0, 1]"
+        );
+        let controller = LookaheadController::new(config.horizon)
+            .expect("config.horizon must be >= 1");
+        L0Controller {
+            config,
+            phis,
+            controller,
+            lambda_forecast: LocalLinearTrend::with_default_noise().with_floor(0.0),
+            c_filter: Ewma::paper_default(),
+            total_stats: SearchStats::default(),
+            decisions: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &L0Config {
+        &self.config
+    }
+
+    /// Feed the last window's observations: arrivals routed to this
+    /// computer and the mean full-speed demand of completed requests
+    /// (`None` when nothing completed — the filter simply keeps its
+    /// previous estimate).
+    pub fn observe(&mut self, arrivals: u64, mean_demand: Option<f64>) {
+        self.lambda_forecast
+            .observe(arrivals as f64 / self.config.period);
+        if let Some(c) = mean_demand {
+            self.c_filter.observe(c);
+        }
+    }
+
+    /// Current processing-time estimate `ĉ` (with a conservative floor
+    /// before any completion has been observed).
+    pub fn c_estimate(&self) -> f64 {
+        let c = self.c_filter.estimate();
+        if c > 0.0 {
+            c
+        } else {
+            0.0175 // mean of U(10, 25) ms — the store's prior
+        }
+    }
+
+    /// Current one-step arrival-rate forecast `λ̂` (requests/second).
+    pub fn lambda_estimate(&self) -> f64 {
+        self.lambda_forecast.predict_one().max(0.0)
+    }
+
+    /// Decide the frequency index for the next period given the observed
+    /// queue length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`llc_core::Error`] (cannot occur with a non-empty φ
+    /// table and the internally built forecast).
+    pub fn decide(&mut self, queue_len: usize) -> Result<L0Decision, LlcError> {
+        let lambdas = self.lambda_forecast.predict(self.config.horizon);
+        let c = self.c_estimate();
+        let forecast = Forecast::from_nominal(
+            lambdas
+                .into_iter()
+                .map(|l| L0Env {
+                    lambda: l.max(0.0),
+                    c,
+                })
+                .collect(),
+        );
+        let plant = L0Plant {
+            phis: &self.phis,
+            model: QueueModel::new(self.config.period),
+            response: SetPoint::new(self.config.response_target),
+            q_penalty: Penalty::abs(self.config.q_weight),
+            r_penalty: Penalty::abs(self.config.r_weight),
+            base_cost: self.config.base_cost,
+        };
+        let x0 = L0State {
+            q: queue_len as f64,
+            r: 0.0,
+        };
+        let Decision {
+            input,
+            cost,
+            stats,
+            ..
+        } = self.controller.decide(&plant, &x0, None, &forecast)?;
+        self.total_stats.absorb(stats);
+        self.decisions += 1;
+        Ok(L0Decision {
+            frequency_index: input,
+            predicted_cost: cost,
+            stats,
+        })
+    }
+
+    /// Average states explored per decision so far (overhead metric).
+    pub fn mean_states_explored(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.total_stats.states_explored as f64 / self.decisions as f64
+        }
+    }
+
+    /// Decisions taken so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Evaluate the model cost the L0 controller would accrue over
+    /// `steps` periods starting from queue `q0` under constant arrival
+    /// rate `lambda` and processing time `c` — replaying its own decide
+    /// loop on the analytic model. This is the inner simulation behind
+    /// the offline learning of the L1 abstraction map `g`.
+    ///
+    /// Returns `(average cost per period, average power draw, final
+    /// queue length)`.
+    pub fn simulate_model(
+        config: &L0Config,
+        phis: &[f64],
+        q0: f64,
+        lambda: f64,
+        c: f64,
+        steps: usize,
+    ) -> (f64, f64, f64) {
+        assert!(steps > 0, "need at least one step");
+        let plant = L0Plant {
+            phis,
+            model: QueueModel::new(config.period),
+            response: SetPoint::new(config.response_target),
+            q_penalty: Penalty::abs(config.q_weight),
+            r_penalty: Penalty::abs(config.r_weight),
+            base_cost: config.base_cost,
+        };
+        let controller =
+            LookaheadController::new(config.horizon).expect("horizon >= 1 by construction");
+        let env = L0Env { lambda, c };
+        let forecast = Forecast::from_nominal(vec![env; config.horizon]);
+        let mut q = q0;
+        let mut total = 0.0;
+        let mut power = 0.0;
+        for _ in 0..steps {
+            let x = L0State { q, r: 0.0 };
+            let d = controller
+                .decide(&plant, &x, None, &forecast)
+                .expect("non-empty input set");
+            let next = plant.step(&x, &d.input, &env);
+            total += plant.cost(&next, &d.input, None);
+            let phi = phis[d.input];
+            power += config.base_cost + phi * phi;
+            q = next.q;
+        }
+        (total / steps as f64, power / steps as f64, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phis() -> Vec<f64> {
+        vec![0.25, 0.5, 0.75, 1.0]
+    }
+
+    fn controller() -> L0Controller {
+        L0Controller::new(L0Config::paper_default(), phis())
+    }
+
+    #[test]
+    fn queue_model_drains_when_service_exceeds_arrivals() {
+        let m = QueueModel::new(30.0);
+        // λ = 10 req/s, c = 20 ms, φ = 1: service rate 50 req/s.
+        let (q, r) = m.step(100.0, 10.0, 0.02, 1.0);
+        assert_eq!(q, 0.0, "surplus capacity empties the queue");
+        assert!((r - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_model_grows_when_overloaded() {
+        let m = QueueModel::new(30.0);
+        // λ = 100 req/s, service rate φ/c = 50 req/s: +50/s for 30 s.
+        let (q, r) = m.step(0.0, 100.0, 0.02, 1.0);
+        assert!((q - 1500.0).abs() < 1e-9);
+        assert!((r - 1501.0 * 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_computer_picks_lowest_frequency() {
+        let mut c = controller();
+        for _ in 0..10 {
+            c.observe(0, Some(0.0175));
+        }
+        let d = c.decide(0).unwrap();
+        assert_eq!(d.frequency_index, 0, "no load: minimize power");
+    }
+
+    #[test]
+    fn overloaded_computer_picks_highest_frequency() {
+        let mut c = controller();
+        // 55 req/s at c = 17.5 ms: needs φ ≈ 0.96 — only φ = 1.0 serves it.
+        for _ in 0..10 {
+            c.observe(55 * 30, Some(0.0175));
+        }
+        let d = c.decide(40).unwrap();
+        assert_eq!(d.frequency_index, 3, "overload: run flat out");
+    }
+
+    #[test]
+    fn moderate_load_picks_intermediate_frequency() {
+        let mut c = controller();
+        // 20 req/s at c = 17.5 ms: φ = 0.5 serves 28.6 req/s with small
+        // queues; φ = 0.25 (14.3 req/s) diverges.
+        for _ in 0..10 {
+            c.observe(20 * 30, Some(0.0175));
+        }
+        let d = c.decide(0).unwrap();
+        assert!(
+            d.frequency_index == 1 || d.frequency_index == 2,
+            "expected an intermediate setting, got {}",
+            d.frequency_index
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_and_bound() {
+        let mut c = controller();
+        c.observe(100, Some(0.0175));
+        let d = c.decide(0).unwrap();
+        // Horizon 3, |U| = 4: at most 4 + 16 + 64 = 84 states.
+        assert!(d.stats.states_explored <= 84);
+        assert!(d.stats.states_explored >= 4);
+        assert_eq!(c.decisions(), 1);
+        assert!(c.mean_states_explored() > 0.0);
+    }
+
+    #[test]
+    fn c_estimate_falls_back_before_observations() {
+        let c = controller();
+        assert!((c.c_estimate() - 0.0175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulate_model_costs_rise_with_load() {
+        let cfg = L0Config::paper_default();
+        let (low, p_low, _) = L0Controller::simulate_model(&cfg, &phis(), 0.0, 5.0, 0.0175, 4);
+        let (high, p_high, _) = L0Controller::simulate_model(&cfg, &phis(), 0.0, 80.0, 0.0175, 4);
+        assert!(
+            p_high > p_low,
+            "overload draws more power ({p_high:.2}) than light load ({p_low:.2})"
+        );
+        assert!(
+            high > low,
+            "overload cost {high} must exceed light-load cost {low}"
+        );
+    }
+
+    #[test]
+    fn simulate_model_final_queue_drains_under_capacity() {
+        let cfg = L0Config::paper_default();
+        let (_, _, q_final) =
+            L0Controller::simulate_model(&cfg, &phis(), 50.0, 5.0, 0.0175, 4);
+        assert_eq!(q_final, 0.0, "light load drains the backlog");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_phis_panic() {
+        let _ = L0Controller::new(L0Config::paper_default(), vec![1.0, 0.5]);
+    }
+}

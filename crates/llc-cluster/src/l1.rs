@@ -1,0 +1,736 @@
+use crate::{L0Config, L0Controller};
+use llc_approx::{train_table, GridSampler, LookupTable, SimplexGrid};
+use llc_core::{BoundedSearch, UncertaintyBand};
+use llc_forecast::{Ewma, Forecaster, LocalLinearTrend};
+
+/// A cell of the abstraction map `g`: the average per-`T_L0` cost the L0
+/// controller achieves over one L1 period, and the queue it leaves behind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GEntry {
+    /// Average cost per L0 period (response slack + power).
+    pub cost: f64,
+    /// Average power draw over the L1 period (`a + φ²` units).
+    pub power: f64,
+    /// Queue length at the end of the L1 period.
+    pub final_q: f64,
+}
+
+/// The abstraction map `g` for one computer (§4.2): a hash table over the
+/// quantized `(λ, ĉ, q₀)` domain, learned offline by replaying the L0
+/// controller on the analytic queue model — "the map g is initially
+/// obtained in off-line fashion by simulating the L0 controller using
+/// various values from the input set and a quantized approximation of the
+/// domain of ω".
+#[derive(Debug, Clone)]
+pub struct AbstractionMap {
+    table: LookupTable<GEntry>,
+    /// Upper edge of the trained arrival-rate grid.
+    lambda_max: f64,
+    /// Upper edge of the trained queue grid.
+    q_max: f64,
+    /// L0 steps per L1 period (l = T_L1 / T_L0).
+    steps_per_period: usize,
+    /// The L0 configuration replayed for out-of-grid queries.
+    l0: L0Config,
+    /// The computer's frequency scaling factors.
+    phis: Vec<f64>,
+}
+
+/// Resolution of the offline learning grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LearnSpec {
+    /// Grid steps along the arrival-rate axis.
+    pub lambda_steps: usize,
+    /// Grid steps along the processing-time axis.
+    pub c_steps: usize,
+    /// Grid steps along the initial-queue axis.
+    pub q_steps: usize,
+}
+
+impl Default for LearnSpec {
+    fn default() -> Self {
+        LearnSpec {
+            lambda_steps: 24,
+            c_steps: 5,
+            q_steps: 6,
+        }
+    }
+}
+
+impl LearnSpec {
+    /// A coarse grid for fast unit tests.
+    pub fn coarse() -> Self {
+        LearnSpec {
+            lambda_steps: 8,
+            c_steps: 3,
+            q_steps: 3,
+        }
+    }
+}
+
+impl AbstractionMap {
+    /// Learn the map for a computer with scaling factors `phis` whose
+    /// local processing times range over `c_range` seconds, for arrival
+    /// rates up to `lambda_max` req/s and queues up to `q_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate ranges.
+    pub fn learn(
+        l0: &L0Config,
+        phis: &[f64],
+        c_range: (f64, f64),
+        lambda_max: f64,
+        q_max: f64,
+        spec: LearnSpec,
+    ) -> Self {
+        assert!(c_range.0 > 0.0 && c_range.1 >= c_range.0, "invalid c range");
+        assert!(lambda_max > 0.0, "lambda_max must be positive");
+        assert!(q_max >= 0.0, "q_max must be non-negative");
+        let steps_per_period = 4; // T_L1 / T_L0 = l = 4 in the paper
+        let sampler = GridSampler::new(vec![
+            (0.0, lambda_max, spec.lambda_steps),
+            (c_range.0, c_range.1, spec.c_steps),
+            (0.0, q_max, spec.q_steps),
+        ]);
+        // Cell width must equal the grid-point spacing (hi-lo)/(steps-1),
+        // otherwise the quantized key space has holes between trained
+        // points and queries fall through to distant nearest-neighbors.
+        let spacing = |lo: f64, hi: f64, steps: usize| {
+            if steps > 1 {
+                (hi - lo) / (steps - 1) as f64
+            } else {
+                (hi - lo).max(1.0)
+            }
+        };
+        let cell = [
+            spacing(0.0, lambda_max, spec.lambda_steps),
+            spacing(c_range.0, c_range.1, spec.c_steps).max(1e-6),
+            spacing(0.0, q_max, spec.q_steps).max(1.0),
+        ];
+        let table = train_table(&sampler, &cell, |p| {
+            let (cost, power, final_q) =
+                L0Controller::simulate_model(l0, phis, p[2], p[0], p[1], steps_per_period);
+            GEntry {
+                cost,
+                power,
+                final_q,
+            }
+        });
+        AbstractionMap {
+            table,
+            lambda_max,
+            q_max,
+            steps_per_period,
+            l0: *l0,
+            phis: phis.to_vec(),
+        }
+    }
+
+    /// Number of trained cells.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` if the map holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Approximate cost/next-queue for `(λ, ĉ, q₀)`.
+    ///
+    /// Within the trained grid this is a hash-table lookup. Queries
+    /// *outside* the grid — arrival rates beyond the learned ceiling or
+    /// backlogs deeper than the learned queue range, both transient
+    /// overload states — replay the analytic L0 model directly instead:
+    /// clamping them into the grid would flatten the overload cost and
+    /// make dumping all load on one saturated computer look as cheap as
+    /// splitting it (the paper's table faces the same edge; the hybrid
+    /// keeps the common path O(1) while staying exact in the tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty (never after [`AbstractionMap::learn`]).
+    pub fn query(&self, lambda: f64, c: f64, q0: f64) -> GEntry {
+        let lambda = lambda.max(0.0);
+        let q0 = q0.max(0.0);
+        if lambda <= self.lambda_max && q0 <= self.q_max {
+            return *self
+                .table
+                .get(&[lambda, c, q0])
+                .expect("abstraction map is trained before use");
+        }
+        let (cost, power, final_q) = L0Controller::simulate_model(
+            &self.l0,
+            &self.phis,
+            q0,
+            lambda,
+            c.max(1e-6),
+            self.steps_per_period,
+        );
+        GEntry {
+            cost,
+            power,
+            final_q,
+        }
+    }
+}
+
+/// Configuration of an L1 (module) controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L1Config {
+    /// Sampling period `T_L1` in seconds (paper: 120, the boot dead time).
+    pub period: f64,
+    /// Load-fraction quantum (paper: 0.05 for m = 4, 0.1 for m ∈ {6, 10}).
+    pub gamma_quantum: f64,
+    /// Switch-on transient penalty `W` (paper: 8).
+    pub switch_on_penalty: f64,
+    /// Minimum number of active computers kept in the module.
+    pub min_active: usize,
+    /// Bounded-search improvement rounds for the γ search.
+    pub search_rounds: usize,
+    /// Bounded-search evaluation budget per candidate α.
+    pub search_evals: usize,
+    /// Chattering mitigation: average candidate costs over the
+    /// `{λ̂−δ, λ̂, λ̂+δ}` band (§4.2). Disable for ablation only.
+    pub use_uncertainty_band: bool,
+    /// Optional hard power budget for the module (the paper's `H(x) ≤ 0`
+    /// constraints include "the overall energy budget for the cluster"):
+    /// candidate configurations whose expected power draw exceeds the
+    /// budget are infeasible. `None` = unconstrained.
+    pub power_budget: Option<f64>,
+}
+
+impl L1Config {
+    /// The paper's §4.3 parameters for a four-computer module.
+    pub fn paper_default() -> Self {
+        L1Config {
+            period: 120.0,
+            gamma_quantum: 0.05,
+            switch_on_penalty: 8.0,
+            min_active: 1,
+            search_rounds: 24,
+            search_evals: 4_000,
+            use_uncertainty_band: true,
+            power_budget: None,
+        }
+    }
+}
+
+/// One L1 decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L1Decision {
+    /// On/off vector `{α_j}` over the module's computers.
+    pub alpha: Vec<bool>,
+    /// Load fractions `{γ_j}` (zero for inactive computers, Σ = 1).
+    pub gamma: Vec<f64>,
+    /// Expected (band-averaged) cost of the chosen configuration.
+    pub expected_cost: f64,
+    /// Candidate states evaluated during the search (overhead metric —
+    /// the paper reports ~858 per period for m = 4).
+    pub states_evaluated: usize,
+}
+
+/// Static description of one module member as the L1 controller sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberSpec {
+    /// Frequency scaling factors (ascending, last = 1.0).
+    pub phis: Vec<f64>,
+    /// Relative full-speed capacity.
+    pub speed: f64,
+    /// Prior mean local processing time (before observations arrive).
+    pub c_prior: f64,
+}
+
+/// The module controller (§4.2): decides `{α_j}` and `{γ_j}` by bounded
+/// search over the abstraction maps, with three-sample arrival-rate
+/// banding for chattering mitigation.
+#[derive(Debug, Clone)]
+pub struct L1Controller {
+    config: L1Config,
+    members: Vec<MemberSpec>,
+    maps: Vec<AbstractionMap>,
+    lambda_forecast: LocalLinearTrend,
+    band: UncertaintyBand,
+    c_filters: Vec<Ewma>,
+    prev_alpha: Vec<bool>,
+    last_prediction: Option<f64>,
+    /// (actual rate, predicted rate) per L1 period — Fig. 4's Kalman plot.
+    forecast_history: Vec<(f64, f64)>,
+    total_states: u64,
+    decisions: u64,
+}
+
+impl L1Controller {
+    /// Build a controller over `members` with their learned abstraction
+    /// maps (one per member, same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if members/maps are empty or lengths differ, or if
+    /// `min_active` exceeds the member count.
+    pub fn new(config: L1Config, members: Vec<MemberSpec>, maps: Vec<AbstractionMap>) -> Self {
+        assert!(!members.is_empty(), "module needs at least one computer");
+        assert_eq!(members.len(), maps.len(), "one abstraction map per member");
+        assert!(
+            config.min_active >= 1 && config.min_active <= members.len(),
+            "min_active must be in 1..=m"
+        );
+        let m = members.len();
+        let c_filters = members.iter().map(|_| Ewma::paper_default()).collect();
+        L1Controller {
+            config,
+            members,
+            maps,
+            lambda_forecast: LocalLinearTrend::with_default_noise().with_floor(0.0),
+            band: UncertaintyBand::new(0.25).with_floor(0.0),
+            c_filters,
+            prev_alpha: vec![false; m],
+            last_prediction: None,
+            forecast_history: Vec::new(),
+            total_states: 0,
+            decisions: 0,
+        }
+    }
+
+    /// Number of computers managed.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Feed one L1 window: module arrivals over `T_L1` and the mean local
+    /// demand observed per member (`None` where nothing completed).
+    pub fn observe(&mut self, module_arrivals: u64, member_demands: &[Option<f64>]) {
+        assert_eq!(
+            member_demands.len(),
+            self.members.len(),
+            "one demand slot per member"
+        );
+        let actual_rate = module_arrivals as f64 / self.config.period;
+        if let Some(pred) = self.last_prediction {
+            self.band.observe(actual_rate, pred);
+            self.forecast_history.push((actual_rate, pred));
+        }
+        self.lambda_forecast.observe(actual_rate);
+        for (filter, demand) in self.c_filters.iter_mut().zip(member_demands) {
+            if let Some(c) = demand {
+                filter.observe(*c);
+            }
+        }
+    }
+
+    /// Current per-member local processing-time estimates.
+    pub fn c_estimates(&self) -> Vec<f64> {
+        self.members
+            .iter()
+            .zip(&self.c_filters)
+            .map(|(m, f)| {
+                let c = f.estimate();
+                if c > 0.0 {
+                    c
+                } else {
+                    m.c_prior
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate (mean) processing-time estimate — the module state
+    /// exposed upward to the L2 controller (eq. 12).
+    pub fn module_c_estimate(&self) -> f64 {
+        let cs = self.c_estimates();
+        cs.iter().sum::<f64>() / cs.len() as f64
+    }
+
+    /// Module arrival-rate forecast (one `T_L1` ahead, req/s).
+    pub fn lambda_estimate(&self) -> f64 {
+        self.lambda_forecast.predict_one().max(0.0)
+    }
+
+    /// The current uncertainty half-width `δ`.
+    pub fn delta(&self) -> f64 {
+        self.band.delta()
+    }
+
+    /// The recorded (actual, predicted) arrival-rate pairs.
+    pub fn forecast_history(&self) -> &[(f64, f64)] {
+        &self.forecast_history
+    }
+
+    /// Average candidate states evaluated per decision.
+    pub fn mean_states_evaluated(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.total_states as f64 / self.decisions as f64
+        }
+    }
+
+    /// Decide `{α_j}` and `{γ_j}` given each member's observed queue.
+    ///
+    /// `active` is the current plant state (booting counts as active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with the member count.
+    pub fn decide(&mut self, queues: &[usize], active: &[bool]) -> L1Decision {
+        assert_eq!(queues.len(), self.members.len(), "queue per member");
+        assert_eq!(active.len(), self.members.len(), "state per member");
+        let m = self.members.len();
+
+        let lambda_hat = self.lambda_forecast.predict_one().max(0.0);
+        self.last_prediction = Some(lambda_hat);
+        let delta = if self.config.use_uncertainty_band {
+            self.band.delta()
+        } else {
+            0.0
+        };
+        let samples = [
+            (lambda_hat - delta).max(0.0),
+            lambda_hat,
+            lambda_hat + delta,
+        ];
+        let cs = self.c_estimates();
+        let mut states = 0usize;
+
+        // Per-decision memo over the quantized query space: γ is a
+        // multiple of the quantum and queues are fixed within a decision,
+        // so each (computer, band sample, γ step) cost is computed once —
+        // this keeps deep-backlog decisions (whose out-of-grid queries
+        // replay the L0 model) at a few hundred model rolls instead of
+        // hundreds of thousands.
+        let mut memo: std::collections::HashMap<(usize, usize, i64), f64> =
+            std::collections::HashMap::new();
+        let quantum = self.config.gamma_quantum;
+        // Cost of draining each computer's standing queue at zero load.
+        let drain_costs: Vec<f64> = (0..m)
+            .map(|j| {
+                if queues[j] > 0 {
+                    self.maps[j].query(0.0, cs[j], queues[j] as f64).cost
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        // Candidate α vectors — the "limited neighborhood" of the current
+        // configuration: keep, single toggles, pairs of switch-ons (so a
+        // sharp load step can recruit two machines in one period), and
+        // everything-on as the escape hatch for deep overload.
+        let mut candidates: Vec<Vec<bool>> = vec![active.to_vec()];
+        for j in 0..m {
+            let mut alt = active.to_vec();
+            alt[j] = !alt[j];
+            if alt.iter().filter(|&&a| a).count() >= self.config.min_active {
+                candidates.push(alt);
+            }
+        }
+        let off: Vec<usize> = (0..m).filter(|&j| !active[j]).collect();
+        for (i, &a) in off.iter().enumerate() {
+            for &b in &off[i + 1..] {
+                let mut alt = active.to_vec();
+                alt[a] = true;
+                alt[b] = true;
+                candidates.push(alt);
+            }
+        }
+        if off.len() > 2 {
+            candidates.push(vec![true; m]);
+        }
+
+        let mut best: Option<(f64, Vec<bool>, Vec<f64>)> = None;
+        for alpha in candidates {
+            let active_idx: Vec<usize> =
+                (0..m).filter(|&j| alpha[j]).collect();
+            if active_idx.is_empty() {
+                continue;
+            }
+            let switch_cost = self.config.switch_on_penalty
+                * (0..m)
+                    .filter(|&j| alpha[j] && !active[j])
+                    .count() as f64;
+            // A machine ordered off still has to drain its backlog (and
+            // cannot take new work while doing so): charge the cost of
+            // finishing the queue under zero arrivals. Without this term,
+            // shedding the most backlogged machine looks free.
+            let drain_cost: f64 = (0..m)
+                .filter(|&j| !alpha[j] && queues[j] > 0)
+                .map(|j| drain_costs[j])
+                .sum();
+
+            // γ search over the quantized simplex restricted to actives.
+            let grid = SimplexGrid::with_quantum(
+                active_idx.len(),
+                self.config.gamma_quantum,
+            );
+            // Start proportional to capacity — "the possible choices for
+            // γ_ij … are limited by the maximum processing capacity".
+            let capacities: Vec<f64> = active_idx
+                .iter()
+                .map(|&j| self.members[j].speed / cs[j])
+                .collect();
+            let start = grid.snap(&capacities);
+
+            let maps = &self.maps;
+            let mut evaluate = |gamma_active: &Vec<f64>| -> f64 {
+                let mut total = 0.0;
+                for (s, &lambda_s) in samples.iter().enumerate() {
+                    let mut sample_cost = 0.0;
+                    for (pos, &j) in active_idx.iter().enumerate() {
+                        let units = (gamma_active[pos] / quantum).round() as i64;
+                        let cost = *memo.entry((j, s, units)).or_insert_with(|| {
+                            maps[j]
+                                .query(
+                                    units as f64 * quantum * lambda_s,
+                                    cs[j],
+                                    queues[j] as f64,
+                                )
+                                .cost
+                        });
+                        sample_cost += cost;
+                    }
+                    total += sample_cost;
+                }
+                total / samples.len() as f64
+            };
+
+            let search = BoundedSearch::new(
+                self.config.search_rounds,
+                self.config.search_evals,
+            );
+            let opt = search.minimize(start, &mut evaluate, |g| grid.neighbors(g));
+            states += opt.evaluations * samples.len();
+
+            // Hard power-budget constraint: expected draw of the chosen
+            // configuration at the nominal forecast.
+            if let Some(budget) = self.config.power_budget {
+                let power: f64 = active_idx
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &j)| {
+                        self.maps[j]
+                            .query(opt.candidate[pos] * lambda_hat, cs[j], queues[j] as f64)
+                            .power
+                    })
+                    .sum();
+                if power > budget {
+                    continue;
+                }
+            }
+            let total_cost = opt.cost + switch_cost + drain_cost;
+            if best.as_ref().is_none_or(|(c, _, _)| total_cost < *c) {
+                let mut gamma_full = vec![0.0; m];
+                for (pos, &j) in active_idx.iter().enumerate() {
+                    gamma_full[j] = opt.candidate[pos];
+                }
+                best = Some((total_cost, alpha, gamma_full));
+            }
+        }
+
+        // With a tight power budget every candidate may be infeasible; fall
+        // back to the lowest-power single machine rather than panicking.
+        let (expected_cost, alpha, gamma) = best.unwrap_or_else(|| {
+            let cheapest = (0..m)
+                .min_by(|&a, &b| {
+                    (self.members[a].speed / cs[a])
+                        .total_cmp(&(self.members[b].speed / cs[b]))
+                })
+                .expect("module is non-empty");
+            let mut alpha = vec![false; m];
+            alpha[cheapest] = true;
+            let mut gamma = vec![0.0; m];
+            gamma[cheapest] = 1.0;
+            (f64::INFINITY, alpha, gamma)
+        });
+        self.prev_alpha.copy_from_slice(&alpha);
+        self.total_states += states as u64;
+        self.decisions += 1;
+        L1Decision {
+            alpha,
+            gamma,
+            expected_cost,
+            states_evaluated: states,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{ComputerProfile, FrequencyProfile};
+
+    fn member(profile: FrequencyProfile) -> MemberSpec {
+        let cp = ComputerProfile::paper_default(profile);
+        MemberSpec {
+            phis: cp.phis(),
+            speed: cp.speed,
+            c_prior: 0.0175 / cp.speed,
+        }
+    }
+
+    fn build_module(n: usize) -> L1Controller {
+        let profiles = FrequencyProfile::module_set();
+        let members: Vec<MemberSpec> =
+            (0..n).map(|j| member(profiles[j % 4])).collect();
+        let l0 = L0Config::paper_default();
+        let maps: Vec<AbstractionMap> = members
+            .iter()
+            .map(|m| {
+                let c_mid = m.c_prior;
+                AbstractionMap::learn(
+                    &l0,
+                    &m.phis,
+                    (c_mid * 0.6, c_mid * 1.5),
+                    2.0 / (c_mid * 0.6),
+                    150.0,
+                    LearnSpec::coarse(),
+                )
+            })
+            .collect();
+        L1Controller::new(L1Config::paper_default(), members, maps)
+    }
+
+    #[test]
+    fn abstraction_map_cost_monotone_in_load() {
+        let m = member(FrequencyProfile::TallEight);
+        let map = AbstractionMap::learn(
+            &L0Config::paper_default(),
+            &m.phis,
+            (0.012, 0.03),
+            80.0,
+            150.0,
+            LearnSpec::coarse(),
+        );
+        assert!(!map.is_empty());
+        let light = map.query(5.0, 0.0175, 0.0);
+        let heavy = map.query(75.0, 0.0175, 0.0);
+        assert!(
+            heavy.cost > light.cost,
+            "overload {:.2} must cost more than light load {:.2}",
+            heavy.cost,
+            light.cost
+        );
+    }
+
+    #[test]
+    fn light_load_switches_computers_off() {
+        let mut l1 = build_module(4);
+        // Feed several quiet windows: ~2 req/s for the whole module.
+        for _ in 0..6 {
+            l1.observe(240, &[Some(0.0175); 4].map(|d| d));
+        }
+        let mut active = vec![true; 4];
+        let queues = vec![0usize; 4];
+        // Iterate a few decisions: the controller sheds computers (one
+        // toggle per period) down to min_active.
+        for _ in 0..4 {
+            let d = l1.decide(&queues, &active);
+            active = d.alpha.clone();
+        }
+        let on = active.iter().filter(|&&a| a).count();
+        assert!(on <= 2, "light load should shed computers, kept {on}");
+    }
+
+    #[test]
+    fn heavy_load_switches_computers_on() {
+        let mut l1 = build_module(4);
+        // ~180 req/s: needs most of the module's capacity.
+        for _ in 0..6 {
+            l1.observe(180 * 120, &[Some(0.0175); 4].map(|d| d));
+        }
+        let mut active = vec![true, false, false, false];
+        let queues = vec![0usize; 4];
+        for _ in 0..4 {
+            let d = l1.decide(&queues, &active);
+            active = d.alpha.clone();
+        }
+        let on = active.iter().filter(|&&a| a).count();
+        assert!(on >= 3, "heavy load should recruit computers, got {on}");
+    }
+
+    #[test]
+    fn gamma_sums_to_one_over_actives() {
+        let mut l1 = build_module(4);
+        for _ in 0..4 {
+            l1.observe(60 * 120, &[Some(0.0175); 4].map(|d| d));
+        }
+        let d = l1.decide(&[0, 0, 0, 0], &[true, true, true, false]);
+        let total: f64 = d.gamma.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "γ sums to 1, got {total}");
+        for (j, (&a, &g)) in d.alpha.iter().zip(&d.gamma).enumerate() {
+            assert!(a || g == 0.0, "inactive computer {j} got γ = {g}");
+            assert!(g >= 0.0);
+        }
+    }
+
+    #[test]
+    fn min_active_is_respected() {
+        let mut l1 = build_module(4);
+        for _ in 0..6 {
+            l1.observe(0, &[None; 4]); // dead silence
+        }
+        let mut active = vec![true, false, false, false];
+        for _ in 0..3 {
+            let d = l1.decide(&[0; 4], &active);
+            active = d.alpha.clone();
+        }
+        assert!(
+            active.iter().filter(|&&a| a).count() >= 1,
+            "at least one computer stays on"
+        );
+    }
+
+    #[test]
+    fn chattering_band_grows_with_forecast_error() {
+        let mut l1 = build_module(2);
+        // Alternate loud/quiet windows: the forecaster cannot keep up, so
+        // δ must grow.
+        for k in 0..10 {
+            let arrivals = if k % 2 == 0 { 100 * 120 } else { 10 * 120 };
+            l1.observe(arrivals, &[Some(0.0175); 2].map(|d| d));
+            let _ = l1.decide(&[0, 0], &[true, true]);
+        }
+        assert!(l1.delta() > 5.0, "δ = {} should reflect the noise", l1.delta());
+        assert!(!l1.forecast_history().is_empty());
+    }
+
+    #[test]
+    fn states_evaluated_counted() {
+        let mut l1 = build_module(4);
+        l1.observe(50 * 120, &[Some(0.0175); 4].map(|d| d));
+        let d = l1.decide(&[0; 4], &[true; 4]);
+        assert!(d.states_evaluated > 0);
+        assert!(l1.mean_states_evaluated() > 0.0);
+    }
+
+    #[test]
+    fn switch_penalty_discourages_flapping() {
+        // With an enormous W the controller must not switch anything on.
+        let profiles = FrequencyProfile::module_set();
+        let members: Vec<MemberSpec> = (0..2).map(|j| member(profiles[j])).collect();
+        let l0 = L0Config::paper_default();
+        let maps: Vec<AbstractionMap> = members
+            .iter()
+            .map(|m| {
+                AbstractionMap::learn(
+                    &l0,
+                    &m.phis,
+                    (m.c_prior * 0.6, m.c_prior * 1.5),
+                    2.0 / (m.c_prior * 0.6),
+                    150.0,
+                    LearnSpec::coarse(),
+                )
+            })
+            .collect();
+        let mut config = L1Config::paper_default();
+        config.switch_on_penalty = 1e12;
+        let mut l1 = L1Controller::new(config, members, maps);
+        for _ in 0..4 {
+            l1.observe(30 * 120, &[Some(0.02), Some(0.02)]);
+        }
+        let d = l1.decide(&[0, 0], &[true, false]);
+        assert_eq!(d.alpha, vec![true, false], "prohibitive W freezes α");
+    }
+}
+
+

@@ -1,0 +1,554 @@
+use crate::l1::{AbstractionMap, L1Config, L1Controller, MemberSpec};
+use llc_approx::{RegressionTree, SimplexGrid, TreeConfig};
+use llc_core::BoundedSearch;
+use llc_forecast::{Forecaster, LocalLinearTrend};
+
+/// The per-module cost approximation `J̃_i` used by the L2 controller.
+///
+/// §5.1: "we apply simulation-based learning techniques to generate an
+/// architecture that quickly approximates M_i's behavior … A module is
+/// first simulated and the corresponding cost values stored in a large
+/// lookup table. This table is then used to train a regression tree."
+///
+/// Features are `(λ_i, c_factor, q̄)`: the arrival rate handed to the
+/// module, a multiplicative factor on the members' prior processing times
+/// (capturing service-time drift), and the mean member queue.
+#[derive(Debug, Clone)]
+pub struct ModuleCostModel {
+    tree: RegressionTree,
+}
+
+/// Resolution of the module-learning grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleLearnSpec {
+    /// Steps along the module arrival-rate axis.
+    pub lambda_steps: usize,
+    /// Steps along the processing-time factor axis.
+    pub c_steps: usize,
+    /// Steps along the initial-queue axis.
+    pub q_steps: usize,
+    /// Steps along the initially-active-machines axis.
+    pub active_steps: usize,
+    /// L1 periods simulated per grid point.
+    pub periods: usize,
+}
+
+impl Default for ModuleLearnSpec {
+    fn default() -> Self {
+        ModuleLearnSpec {
+            lambda_steps: 16,
+            c_steps: 3,
+            q_steps: 3,
+            active_steps: 4,
+            periods: 3,
+        }
+    }
+}
+
+impl ModuleLearnSpec {
+    /// A coarse grid for fast unit tests.
+    pub fn coarse() -> Self {
+        ModuleLearnSpec {
+            lambda_steps: 6,
+            c_steps: 2,
+            q_steps: 2,
+            active_steps: 2,
+            periods: 2,
+        }
+    }
+}
+
+/// Analytic module simulator: replays the L1 controller over its
+/// abstraction maps for a constant offered load — the inner loop of the
+/// L2 learning pipeline ("the behavior of module M_i is learned by
+/// simulating the control structure in Fig. 2(b)").
+fn simulate_module(
+    l1_config: &L1Config,
+    members: &[MemberSpec],
+    maps: &[AbstractionMap],
+    lambda: f64,
+    c_factor: f64,
+    q0: f64,
+    active_init: usize,
+    periods: usize,
+) -> f64 {
+    let mut l1 = L1Controller::new(l1_config.clone_for_training(), members.to_vec(), maps.to_vec());
+    let m = members.len();
+    let mut queues: Vec<f64> = vec![q0; m];
+    // Start with the `active_init` highest-capacity machines on — the
+    // canonical configuration an L1 controller converges to at that size.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        (members[b].speed / members[b].c_prior)
+            .total_cmp(&(members[a].speed / members[a].c_prior))
+    });
+    let mut active = vec![false; m];
+    for &j in order.iter().take(active_init.clamp(1, m)) {
+        active[j] = true;
+    }
+    let demands: Vec<Option<f64>> = members
+        .iter()
+        .map(|s| Some(s.c_prior * c_factor))
+        .collect();
+    let mut total = 0.0;
+    for _ in 0..periods {
+        let arrivals = (lambda * l1_config.period).round().max(0.0) as u64;
+        l1.observe(arrivals, &demands);
+        let q_obs: Vec<usize> = queues.iter().map(|&q| q.round() as usize).collect();
+        let d = l1.decide(&q_obs, &active);
+        let mut period_cost = 0.0;
+        for j in 0..m {
+            if d.alpha[j] {
+                let entry = maps[j].query(
+                    d.gamma[j] * lambda,
+                    members[j].c_prior * c_factor,
+                    queues[j],
+                );
+                period_cost += entry.cost;
+                queues[j] = entry.final_q;
+            } else {
+                queues[j] = 0.0; // drained/off computers shed their queue
+            }
+            if d.alpha[j] && !active[j] {
+                period_cost += l1_config.switch_on_penalty;
+            }
+        }
+        active = d.alpha;
+        total += period_cost;
+    }
+    total / periods as f64
+}
+
+impl L1Config {
+    /// Clone with reduced search budgets for the offline training loop
+    /// (thousands of inner decisions; full budgets are unnecessary for
+    /// learning the coarse cost surface).
+    fn clone_for_training(&self) -> L1Config {
+        L1Config {
+            search_rounds: self.search_rounds.min(8),
+            search_evals: self.search_evals.min(600),
+            ..*self
+        }
+    }
+}
+
+impl ModuleCostModel {
+    /// Learn a module's cost surface by simulating its L1+L0 stack over a
+    /// grid of offered loads, service-time factors and initial queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate inputs (empty members, non-positive
+    /// `lambda_max`).
+    pub fn learn(
+        l1_config: &L1Config,
+        members: &[MemberSpec],
+        maps: &[AbstractionMap],
+        lambda_max: f64,
+        spec: ModuleLearnSpec,
+    ) -> Self {
+        assert!(!members.is_empty(), "module needs members");
+        assert!(lambda_max > 0.0, "lambda_max must be positive");
+        let m = members.len() as f64;
+        let sampler = llc_approx::GridSampler::new(vec![
+            (0.0, lambda_max, spec.lambda_steps),
+            (0.7, 1.4, spec.c_steps),
+            (0.0, 100.0, spec.q_steps),
+            (1.0, m, spec.active_steps.min(members.len())),
+        ]);
+        let xs = sampler.points();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|p| {
+                simulate_module(
+                    l1_config,
+                    members,
+                    maps,
+                    p[0],
+                    p[1],
+                    p[2],
+                    p[3].round() as usize,
+                    spec.periods,
+                )
+            })
+            .collect();
+        let tree = RegressionTree::fit(
+            &xs,
+            &ys,
+            TreeConfig {
+                max_depth: 10,
+                min_leaf: 2,
+            },
+        )
+        .expect("grid sampler produces a consistent training set");
+        ModuleCostModel { tree }
+    }
+
+    /// Predicted per-period cost of the module at
+    /// `(λ_i, c_factor, q̄, active)`.
+    pub fn predict(&self, lambda: f64, c_factor: f64, q_mean: f64, active: usize) -> f64 {
+        self.tree.predict(&[
+            lambda.max(0.0),
+            c_factor,
+            q_mean.max(0.0),
+            active as f64,
+        ])
+    }
+
+    /// Size of the underlying tree (for the "compact" claim).
+    pub fn tree_nodes(&self) -> usize {
+        self.tree.node_count()
+    }
+}
+
+/// Configuration of the L2 (cluster) controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L2Config {
+    /// Sampling period `T_L2` in seconds (paper: 120).
+    pub period: f64,
+    /// Module-fraction quantum (paper: 0.1).
+    pub gamma_quantum: f64,
+    /// Maximum quanta moved per re-split. A module's machine count needs
+    /// a full L1 period (the boot dead time) to follow its load share, so
+    /// wholesale re-splits outrun the plant; bounding each decision to a
+    /// neighborhood of the current split keeps the cascade stable. `0`
+    /// disables the bound (full simplex enumeration every decision).
+    pub max_move_quanta: usize,
+    /// Hysteresis: adopt a new split only if it beats the current one by
+    /// this relative margin (tree predictions are noisy; a flapping split
+    /// costs boot dead times downstream).
+    pub switch_margin: f64,
+}
+
+impl L2Config {
+    /// The paper's §5.2 parameters.
+    pub fn paper_default() -> Self {
+        L2Config {
+            period: 120.0,
+            gamma_quantum: 0.1,
+            max_move_quanta: 2,
+            switch_margin: 0.05,
+        }
+    }
+}
+
+/// Module state as observed by the L2 controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleState {
+    /// Processing-time factor relative to priors (1.0 = nominal).
+    pub c_factor: f64,
+    /// Mean queue length across the module's computers.
+    pub queue_mean: f64,
+    /// Machines currently active (on/booting/draining) in the module —
+    /// the L2 must know how much of the module's capacity is actually
+    /// standing, or it re-splits load faster than machines can boot.
+    pub active: usize,
+}
+
+/// One L2 decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L2Decision {
+    /// The global split `{γ_i}` over modules (Σ = 1).
+    pub gamma: Vec<f64>,
+    /// Expected total cost of the chosen split.
+    pub expected_cost: f64,
+    /// Candidate splits evaluated.
+    pub states_evaluated: usize,
+}
+
+/// The cluster-level controller (§5): splits the global arrivals across
+/// modules by exhaustive enumeration of the quantized simplex (286 points
+/// for four modules at quantum 0.1), scoring each split with the
+/// regression-tree module models.
+#[derive(Debug, Clone)]
+pub struct L2Controller {
+    config: L2Config,
+    models: Vec<ModuleCostModel>,
+    lambda_forecast: LocalLinearTrend,
+    last_prediction: Option<f64>,
+    prev_gamma: Option<Vec<f64>>,
+    forecast_history: Vec<(f64, f64)>,
+    total_states: u64,
+    decisions: u64,
+}
+
+impl L2Controller {
+    /// Build from per-module cost models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn new(config: L2Config, models: Vec<ModuleCostModel>) -> Self {
+        assert!(!models.is_empty(), "cluster needs at least one module");
+        L2Controller {
+            config,
+            models,
+            lambda_forecast: LocalLinearTrend::with_default_noise().with_floor(0.0),
+            last_prediction: None,
+            prev_gamma: None,
+            forecast_history: Vec::new(),
+            total_states: 0,
+            decisions: 0,
+        }
+    }
+
+    /// Number of modules managed.
+    pub fn num_modules(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Seed the controller with an initial split (e.g. proportional to
+    /// module capacity). Before any workload has been observed every
+    /// candidate split costs the same, so an unseeded first decision
+    /// would degenerate to an arbitrary simplex corner and the bounded
+    /// re-split would crawl back from it.
+    pub fn set_initial_split(&mut self, gamma: Vec<f64>) {
+        assert_eq!(gamma.len(), self.models.len(), "one fraction per module");
+        let grid = SimplexGrid::with_quantum(self.models.len(), self.config.gamma_quantum);
+        self.prev_gamma = Some(grid.snap(&gamma));
+    }
+
+    /// Feed one L2 window: global arrivals over `T_L2`.
+    pub fn observe(&mut self, global_arrivals: u64) {
+        let rate = global_arrivals as f64 / self.config.period;
+        if let Some(pred) = self.last_prediction {
+            self.forecast_history.push((rate, pred));
+        }
+        self.lambda_forecast.observe(rate);
+    }
+
+    /// Global arrival-rate forecast (req/s).
+    pub fn lambda_estimate(&self) -> f64 {
+        self.lambda_forecast.predict_one().max(0.0)
+    }
+
+    /// Recorded (actual, predicted) global rates.
+    pub fn forecast_history(&self) -> &[(f64, f64)] {
+        &self.forecast_history
+    }
+
+    /// Average splits evaluated per decision.
+    pub fn mean_states_evaluated(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.total_states as f64 / self.decisions as f64
+        }
+    }
+
+    /// Decide the split `{γ_i}` given per-module states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modules` length differs from the model count.
+    pub fn decide(&mut self, modules: &[ModuleState]) -> L2Decision {
+        assert_eq!(modules.len(), self.models.len(), "state per module");
+        let lambda_g = self.lambda_forecast.predict_one().max(0.0);
+        self.last_prediction = Some(lambda_g);
+
+        let grid = SimplexGrid::with_quantum(self.models.len(), self.config.gamma_quantum);
+        // First decision: full enumeration. Afterwards: the bounded
+        // neighborhood of the previous split (up to `max_move_quanta`
+        // single-quantum transfers), mirroring the L1's "limited
+        // neighborhood of [the current] state".
+        let candidates = match (&self.prev_gamma, self.config.max_move_quanta) {
+            (Some(prev), bound) if bound > 0 => {
+                let mut frontier = vec![prev.clone()];
+                let mut all = vec![prev.clone()];
+                for _ in 0..bound {
+                    let mut next = Vec::new();
+                    for point in &frontier {
+                        for n in grid.neighbors(point) {
+                            if !all.iter().any(|p: &Vec<f64>| {
+                                p.iter().zip(&n).all(|(a, b)| (a - b).abs() < 1e-9)
+                            }) {
+                                all.push(n.clone());
+                                next.push(n);
+                            }
+                        }
+                    }
+                    frontier = next;
+                }
+                all
+            }
+            _ => grid.enumerate(),
+        };
+        let evaluate = |gamma: &Vec<f64>| -> f64 {
+            gamma
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| {
+                    self.models[i].predict(
+                        g * lambda_g,
+                        modules[i].c_factor,
+                        modules[i].queue_mean,
+                        modules[i].active,
+                    )
+                })
+                .sum()
+        };
+        let opt = BoundedSearch::argmin(candidates, evaluate)
+            .expect("simplex grid is never empty");
+
+        // Hysteresis: keep the current split unless the winner clears the
+        // switching margin — tree predictions are noisy and a flapping
+        // split costs boot dead times downstream.
+        let (gamma, cost) = match &self.prev_gamma {
+            Some(prev) => {
+                let prev_cost = evaluate(prev);
+                let moved = prev
+                    .iter()
+                    .zip(&opt.candidate)
+                    .any(|(a, b)| (a - b).abs() > 1e-9);
+                if moved && opt.cost > prev_cost * (1.0 - self.config.switch_margin) {
+                    (prev.clone(), prev_cost)
+                } else {
+                    (opt.candidate, opt.cost)
+                }
+            }
+            None => (opt.candidate, opt.cost),
+        };
+
+        self.total_states += opt.evaluations as u64;
+        self.decisions += 1;
+        self.prev_gamma = Some(gamma.clone());
+        L2Decision {
+            gamma,
+            expected_cost: cost,
+            states_evaluated: opt.evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::l1::LearnSpec;
+    use crate::profiles::{ComputerProfile, FrequencyProfile};
+
+    fn members(n: usize) -> Vec<MemberSpec> {
+        let profiles = FrequencyProfile::module_set();
+        (0..n)
+            .map(|j| {
+                let cp = ComputerProfile::paper_default(profiles[j % 4]);
+                MemberSpec {
+                    phis: cp.phis(),
+                    speed: cp.speed,
+                    c_prior: 0.0175 / cp.speed,
+                }
+            })
+            .collect()
+    }
+
+    fn maps_for(ms: &[MemberSpec]) -> Vec<AbstractionMap> {
+        let l0 = L0Config::paper_default();
+        ms.iter()
+            .map(|m| {
+                AbstractionMap::learn(
+                    &l0,
+                    &m.phis,
+                    (m.c_prior * 0.6, m.c_prior * 1.5),
+                    2.0 / (m.c_prior * 0.6),
+                    150.0,
+                    LearnSpec::coarse(),
+                )
+            })
+            .collect()
+    }
+
+    use crate::L0Config;
+
+    fn module_model(n: usize) -> ModuleCostModel {
+        let ms = members(n);
+        let maps = maps_for(&ms);
+        ModuleCostModel::learn(
+            &L1Config::paper_default(),
+            &ms,
+            &maps,
+            200.0,
+            ModuleLearnSpec::coarse(),
+        )
+    }
+
+    #[test]
+    fn module_cost_monotone_in_offered_load() {
+        let model = module_model(2);
+        let light = model.predict(5.0, 1.0, 0.0, 2);
+        let heavy = model.predict(190.0, 1.0, 0.0, 2);
+        assert!(
+            heavy > light,
+            "overloading a module must cost more ({heavy:.2} vs {light:.2})"
+        );
+        assert!(model.tree_nodes() >= 3, "tree must have learned splits");
+    }
+
+    #[test]
+    fn l2_balances_identical_modules() {
+        let model = module_model(2);
+        let models = vec![model.clone(), model.clone(), model.clone(), model];
+        let mut l2 = L2Controller::new(L2Config::paper_default(), models);
+        for _ in 0..5 {
+            l2.observe((200.0 * 120.0) as u64);
+        }
+        let states = vec![
+            ModuleState {
+                c_factor: 1.0,
+                queue_mean: 0.0,
+                active: 2,
+            };
+            4
+        ];
+        let d = l2.decide(&states);
+        let total: f64 = d.gamma.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Identical modules under heavy load: no module should be starved
+        // or monopolized.
+        for &g in &d.gamma {
+            assert!(g >= 0.1 && g <= 0.5, "unbalanced split {:?}", d.gamma);
+        }
+        assert_eq!(d.states_evaluated, 286, "full 0.1-quantum enumeration");
+    }
+
+    #[test]
+    fn l2_shifts_load_away_from_backlogged_module() {
+        let model = module_model(2);
+        let models = vec![model.clone(), model];
+        let mut l2 = L2Controller::new(L2Config::paper_default(), models);
+        for _ in 0..5 {
+            l2.observe((100.0 * 120.0) as u64);
+        }
+        let states = vec![
+            ModuleState {
+                c_factor: 1.0,
+                queue_mean: 95.0, // deeply backlogged
+                active: 2,
+            },
+            ModuleState {
+                c_factor: 1.0,
+                queue_mean: 0.0,
+                active: 2,
+            },
+        ];
+        let d = l2.decide(&states);
+        assert!(
+            d.gamma[1] >= d.gamma[0],
+            "healthy module should get at least as much load: {:?}",
+            d.gamma
+        );
+    }
+
+    #[test]
+    fn forecast_history_tracks_pairs() {
+        let model = module_model(2);
+        let mut l2 = L2Controller::new(L2Config::paper_default(), vec![model]);
+        l2.observe(1200);
+        let _ = l2.decide(&[ModuleState {
+            c_factor: 1.0,
+            queue_mean: 0.0,
+            active: 2,
+        }]);
+        l2.observe(1300);
+        assert_eq!(l2.forecast_history().len(), 1);
+        assert!(l2.mean_states_evaluated() > 0.0);
+    }
+}

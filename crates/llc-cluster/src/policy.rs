@@ -1,0 +1,114 @@
+use llc_sim::PowerState;
+
+/// Per-computer observation for one base (`T_L0`) tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputerObs {
+    /// Global computer index.
+    pub index: usize,
+    /// Module the computer belongs to.
+    pub module: usize,
+    /// Queue length at the sampling instant (queued + in service).
+    pub queue: usize,
+    /// Requests routed to this computer during the window.
+    pub arrivals: u64,
+    /// Requests completed during the window.
+    pub completions: u64,
+    /// Mean response time of completions in the window (seconds).
+    pub mean_response: Option<f64>,
+    /// Mean full-speed demand of completions in the window (seconds).
+    pub mean_demand: Option<f64>,
+    /// Power state at the sampling instant.
+    pub state: PowerState,
+    /// Current frequency index.
+    pub frequency_index: usize,
+}
+
+/// Per-module observation for one base tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleObs {
+    /// Module index.
+    pub index: usize,
+    /// Requests dispatched to the module during the window.
+    pub arrivals: u64,
+    /// Requests dropped at/inside the module during the window.
+    pub dropped: u64,
+}
+
+/// Everything a policy sees at a tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observations {
+    /// Base tick index (multiples of `T_L0`).
+    pub tick: u64,
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Per-computer windows, in global index order.
+    pub computers: Vec<ComputerObs>,
+    /// Per-module windows, in module order.
+    pub modules: Vec<ModuleObs>,
+}
+
+/// An actuation command against the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Order computer `i` on (incurs the boot dead time).
+    PowerOn(usize),
+    /// Order computer `i` off (drains first if busy).
+    PowerOff(usize),
+    /// Set computer `i`'s frequency-table index.
+    SetFrequency(usize, usize),
+    /// Set the global module split `{γ_i}`.
+    SetModuleWeights(Vec<f64>),
+    /// Set module `m`'s computer split `{γ_ij}`.
+    SetComputerWeights(usize, Vec<f64>),
+}
+
+/// A cluster management policy: fed observations every base tick, returns
+/// actuation commands. Implemented by [`HierarchicalPolicy`] (the paper's
+/// controller) and by the baselines.
+///
+/// [`HierarchicalPolicy`]: crate::HierarchicalPolicy
+pub trait ClusterPolicy {
+    /// Decide the actions for this tick.
+    fn decide(&mut self, obs: &Observations) -> Vec<Action>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null;
+    impl ClusterPolicy for Null {
+        fn decide(&mut self, _obs: &Observations) -> Vec<Action> {
+            Vec::new()
+        }
+        fn name(&self) -> &str {
+            "null"
+        }
+    }
+
+    #[test]
+    fn policy_trait_is_object_safe() {
+        let mut p: Box<dyn ClusterPolicy> = Box::new(Null);
+        let obs = Observations {
+            tick: 0,
+            time: 0.0,
+            computers: Vec::new(),
+            modules: Vec::new(),
+        };
+        assert!(p.decide(&obs).is_empty());
+        assert_eq!(p.name(), "null");
+    }
+
+    #[test]
+    fn action_equality() {
+        assert_eq!(Action::PowerOn(1), Action::PowerOn(1));
+        assert_ne!(Action::PowerOn(1), Action::PowerOff(1));
+        assert_eq!(
+            Action::SetModuleWeights(vec![0.5, 0.5]),
+            Action::SetModuleWeights(vec![0.5, 0.5])
+        );
+    }
+}

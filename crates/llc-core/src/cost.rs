@@ -1,0 +1,199 @@
+/// How a scalar deviation is folded into the cost.
+///
+/// The paper writes all costs as weighted norms `‖v‖_Q`; for the scalar
+/// quantities of the case study either the absolute value or the square is
+/// meant depending on context. Both are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Norm {
+    /// `w · |v|` — linear penalty (default; matches the paper's weight
+    /// scales Q=100, R=1, W=8 on same-order quantities).
+    #[default]
+    Abs,
+    /// `w · v²` — quadratic penalty.
+    Square,
+}
+
+/// A weighted norm term of a cost function, e.g. `‖ε‖_Q` or `‖Δu‖_W`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Penalty {
+    weight: f64,
+    norm: Norm,
+}
+
+impl Penalty {
+    /// A linear penalty `w·|v|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or non-finite: cost terms must be
+    /// non-negative for branch-and-bound pruning to be admissible.
+    pub fn abs(weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "penalty weight must be finite and non-negative, got {weight}"
+        );
+        Penalty {
+            weight,
+            norm: Norm::Abs,
+        }
+    }
+
+    /// A quadratic penalty `w·v²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or non-finite.
+    pub fn square(weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "penalty weight must be finite and non-negative, got {weight}"
+        );
+        Penalty {
+            weight,
+            norm: Norm::Square,
+        }
+    }
+
+    /// Evaluate the penalty for deviation `v`.
+    pub fn eval(&self, v: f64) -> f64 {
+        match self.norm {
+            Norm::Abs => self.weight * v.abs(),
+            Norm::Square => self.weight * v * v,
+        }
+    }
+
+    /// The weight `w`.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The norm flavor.
+    pub fn norm(&self) -> Norm {
+        self.norm
+    }
+}
+
+/// A set-point specification with a one-sided soft constraint.
+///
+/// The paper drives the system to a neighborhood of `x*` and penalizes
+/// only *violations*: the slack variable
+///
+/// ```text
+/// ε(k) = 0            if r(k) ≤ r*
+///        r(k) − r*    otherwise
+/// ```
+///
+/// is non-zero only when the response-time constraint is violated, and its
+/// non-zero values are heavily penalized in the cost function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetPoint {
+    target: f64,
+}
+
+impl SetPoint {
+    /// A set-point at `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not finite.
+    pub fn new(target: f64) -> Self {
+        assert!(target.is_finite(), "set-point must be finite, got {target}");
+        SetPoint { target }
+    }
+
+    /// The target value `x*`.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// One-sided slack `ε = max(0, value − target)`: positive only when the
+    /// observed value *exceeds* the target (e.g. response time too high).
+    pub fn slack_above(&self, value: f64) -> f64 {
+        (value - self.target).max(0.0)
+    }
+
+    /// One-sided slack `max(0, target − value)` for lower-bound goals
+    /// (e.g. throughput too low).
+    pub fn slack_below(&self, value: f64) -> f64 {
+        (self.target - value).max(0.0)
+    }
+
+    /// Symmetric deviation `|value − target|` for regulation problems.
+    pub fn deviation(&self, value: f64) -> f64 {
+        (value - self.target).abs()
+    }
+
+    /// Whether `value` satisfies the upper-bound goal `value ≤ target`.
+    pub fn satisfied_above(&self, value: f64) -> bool {
+        value <= self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn abs_penalty() {
+        let p = Penalty::abs(100.0);
+        assert_eq!(p.eval(0.0), 0.0);
+        assert_eq!(p.eval(1.5), 150.0);
+        assert_eq!(p.eval(-1.5), 150.0);
+        assert_eq!(p.weight(), 100.0);
+        assert_eq!(p.norm(), Norm::Abs);
+    }
+
+    #[test]
+    fn square_penalty() {
+        let p = Penalty::square(2.0);
+        assert_eq!(p.eval(3.0), 18.0);
+        assert_eq!(p.eval(-3.0), 18.0);
+        assert_eq!(p.norm(), Norm::Square);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = Penalty::abs(-1.0);
+    }
+
+    #[test]
+    fn setpoint_slacks() {
+        let sp = SetPoint::new(4.0);
+        assert_eq!(sp.target(), 4.0);
+        assert_eq!(sp.slack_above(3.0), 0.0);
+        assert_eq!(sp.slack_above(4.0), 0.0);
+        assert_eq!(sp.slack_above(5.5), 1.5);
+        assert_eq!(sp.slack_below(3.0), 1.0);
+        assert_eq!(sp.slack_below(5.0), 0.0);
+        assert_eq!(sp.deviation(2.0), 2.0);
+        assert!(sp.satisfied_above(4.0));
+        assert!(!sp.satisfied_above(4.001));
+    }
+
+    proptest! {
+        #[test]
+        fn penalty_is_nonnegative(w in 0.0..1e6f64, v in -1e6..1e6f64) {
+            prop_assert!(Penalty::abs(w).eval(v) >= 0.0);
+            prop_assert!(Penalty::square(w).eval(v) >= 0.0);
+        }
+
+        #[test]
+        fn penalty_is_even(w in 0.0..1e3f64, v in -1e3..1e3f64) {
+            prop_assert_eq!(Penalty::abs(w).eval(v), Penalty::abs(w).eval(-v));
+            prop_assert_eq!(Penalty::square(w).eval(v), Penalty::square(w).eval(-v));
+        }
+
+        #[test]
+        fn slack_is_complementary(t in -1e3..1e3f64, v in -1e3..1e3f64) {
+            let sp = SetPoint::new(t);
+            // At most one of the two one-sided slacks is non-zero, and they
+            // reconstruct the absolute deviation.
+            let above = sp.slack_above(v);
+            let below = sp.slack_below(v);
+            prop_assert!(above == 0.0 || below == 0.0);
+            prop_assert!((above + below - sp.deviation(v)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+use crate::Error;
+
+/// Which hierarchy levels fire at a given base tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelTick {
+    /// Index of the base tick (multiples of the base period).
+    pub tick: u64,
+    /// Simulation time of the tick in seconds.
+    pub time: f64,
+    /// Hierarchy levels due at this tick, ordered **top-down** (highest
+    /// level first) so that decisions propagate downwards within a tick,
+    /// matching the paper: the L2 split is decided before L1 reconfigures,
+    /// and L1's {α, γ} are communicated to the L0 controllers before they
+    /// pick frequencies.
+    pub levels: Vec<usize>,
+}
+
+/// Multi-rate sampling schedule for a controller hierarchy.
+///
+/// Level 0 ticks every `base_period` seconds; level `i` ticks every
+/// `multipliers[i] · base_period` seconds (`multipliers[0]` is forced to 1).
+/// The paper uses `T_L0 = 30 s` and `T_L1 = T_L2 = 120 s`, i.e. multipliers
+/// `[1, 4, 4]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRateSchedule {
+    base_period: f64,
+    multipliers: Vec<u64>,
+}
+
+impl MultiRateSchedule {
+    /// Build a schedule from the base sampling period (seconds) and the
+    /// per-level multipliers relative to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSchedule`] if `multipliers` is empty, any
+    /// multiplier is zero, `multipliers[0] != 1`, or `base_period <= 0`.
+    pub fn new(base_period: f64, multipliers: Vec<u64>) -> Result<Self, Error> {
+        if multipliers.is_empty()
+            || multipliers.contains(&0)
+            || multipliers[0] != 1
+            || !(base_period > 0.0)
+        {
+            return Err(Error::InvalidSchedule);
+        }
+        Ok(MultiRateSchedule {
+            base_period,
+            multipliers,
+        })
+    }
+
+    /// The base (level-0) sampling period in seconds.
+    pub fn base_period(&self) -> f64 {
+        self.base_period
+    }
+
+    /// Number of hierarchy levels.
+    pub fn levels(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// Sampling period of level `level` in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.levels()`.
+    pub fn period(&self, level: usize) -> f64 {
+        self.base_period * self.multipliers[level] as f64
+    }
+
+    /// The levels due at base tick `tick`, ordered top-down.
+    pub fn due_at(&self, tick: u64) -> Vec<usize> {
+        (0..self.multipliers.len())
+            .rev()
+            .filter(|&l| tick % self.multipliers[l] == 0)
+            .collect()
+    }
+
+    /// Iterate `num_ticks` base ticks starting at tick 0 (time 0).
+    pub fn ticks(&self, num_ticks: u64) -> impl Iterator<Item = LevelTick> + '_ {
+        (0..num_ticks).map(move |tick| LevelTick {
+            tick,
+            time: tick as f64 * self.base_period,
+            levels: self.due_at(tick),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_30s_base_with_l1_l2_at_2min() {
+        let s = MultiRateSchedule::new(30.0, vec![1, 4, 4]).unwrap();
+        assert_eq!(s.levels(), 3);
+        assert_eq!(s.period(0), 30.0);
+        assert_eq!(s.period(1), 120.0);
+        assert_eq!(s.period(2), 120.0);
+        // Tick 0: everything fires, top-down.
+        assert_eq!(s.due_at(0), vec![2, 1, 0]);
+        // Ticks 1..3: only L0.
+        assert_eq!(s.due_at(1), vec![0]);
+        assert_eq!(s.due_at(3), vec![0]);
+        // Tick 4 = 120 s: all again.
+        assert_eq!(s.due_at(4), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn tick_times_are_multiples_of_base() {
+        let s = MultiRateSchedule::new(30.0, vec![1, 4]).unwrap();
+        let ticks: Vec<LevelTick> = s.ticks(5).collect();
+        assert_eq!(ticks.len(), 5);
+        assert_eq!(ticks[3].time, 90.0);
+        assert_eq!(ticks[3].tick, 3);
+        assert_eq!(ticks[4].levels, vec![1, 0]);
+    }
+
+    #[test]
+    fn invalid_schedules_rejected() {
+        assert_eq!(
+            MultiRateSchedule::new(30.0, vec![]).unwrap_err(),
+            Error::InvalidSchedule
+        );
+        assert_eq!(
+            MultiRateSchedule::new(30.0, vec![1, 0]).unwrap_err(),
+            Error::InvalidSchedule
+        );
+        assert_eq!(
+            MultiRateSchedule::new(30.0, vec![2, 4]).unwrap_err(),
+            Error::InvalidSchedule,
+            "level 0 multiplier must be 1"
+        );
+        assert_eq!(
+            MultiRateSchedule::new(0.0, vec![1]).unwrap_err(),
+            Error::InvalidSchedule
+        );
+        assert_eq!(
+            MultiRateSchedule::new(f64::NAN, vec![1]).unwrap_err(),
+            Error::InvalidSchedule
+        );
+    }
+
+    #[test]
+    fn single_level_schedule_fires_every_tick() {
+        let s = MultiRateSchedule::new(1.0, vec![1]).unwrap();
+        for t in 0..10 {
+            assert_eq!(s.due_at(t), vec![0]);
+        }
+    }
+
+    #[test]
+    fn non_divisible_multipliers_interleave() {
+        let s = MultiRateSchedule::new(10.0, vec![1, 2, 3]).unwrap();
+        assert_eq!(s.due_at(0), vec![2, 1, 0]);
+        assert_eq!(s.due_at(2), vec![1, 0]);
+        assert_eq!(s.due_at(3), vec![2, 0]);
+        assert_eq!(s.due_at(6), vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,178 @@
+use crate::{EnvStep, Forecast};
+
+/// The forecast uncertainty band `λ̂(q) ± δ(q)` used for chattering
+/// mitigation (§4.2 of the paper).
+///
+/// Workload estimates within the prediction horizon carry an error band
+/// whose half-width `δ` is the running average error between actual and
+/// forecast values. The L1 controller evaluates every candidate action
+/// against the three sampled arrival rates `λ̂−δ`, `λ̂` and `λ̂+δ` and uses
+/// the *average* of the three costs, damping configuration flapping caused
+/// by noisy forecasts.
+///
+/// `UncertaintyBand` tracks `δ` online from (actual, forecast) pairs and
+/// expands scalar forecasts into three-sample [`EnvStep`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertaintyBand {
+    /// Exponential smoothing factor for the running mean absolute error.
+    smoothing: f64,
+    /// Current half-width δ (mean absolute forecast error).
+    delta: f64,
+    /// Number of observations absorbed.
+    observations: u64,
+    /// Lower clamp applied when sampling (e.g. arrival rates cannot go
+    /// negative).
+    floor: Option<f64>,
+}
+
+impl UncertaintyBand {
+    /// A band updated by exponential smoothing with factor
+    /// `smoothing ∈ (0, 1]` (weight of the newest error sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `smoothing` is outside `(0, 1]`.
+    pub fn new(smoothing: f64) -> Self {
+        assert!(
+            smoothing > 0.0 && smoothing <= 1.0,
+            "smoothing must lie in (0, 1], got {smoothing}"
+        );
+        UncertaintyBand {
+            smoothing,
+            delta: 0.0,
+            observations: 0,
+            floor: None,
+        }
+    }
+
+    /// Clamp generated samples from below at `floor` (e.g. 0 for rates).
+    #[must_use]
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        self.floor = Some(floor);
+        self
+    }
+
+    /// Record an (actual, forecast) pair, updating the mean absolute error.
+    pub fn observe(&mut self, actual: f64, forecast: f64) {
+        let err = (actual - forecast).abs();
+        if self.observations == 0 {
+            self.delta = err;
+        } else {
+            self.delta = self.smoothing * err + (1.0 - self.smoothing) * self.delta;
+        }
+        self.observations += 1;
+    }
+
+    /// The current half-width `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of error observations absorbed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The three-sample scenario `{λ̂−δ, λ̂, λ̂+δ}` around a nominal
+    /// forecast, with equal weights and the nominal sample carried forward.
+    pub fn scenario(&self, nominal: f64) -> EnvStep<f64> {
+        let clamp = |v: f64| match self.floor {
+            Some(fl) => v.max(fl),
+            None => v,
+        };
+        EnvStep {
+            nominal: clamp(nominal),
+            samples: vec![
+                (clamp(nominal - self.delta), 1.0),
+                (clamp(nominal), 1.0),
+                (clamp(nominal + self.delta), 1.0),
+            ],
+        }
+    }
+
+    /// Expand a sequence of nominal forecasts into a banded [`Forecast`].
+    pub fn forecast(&self, nominals: &[f64]) -> Forecast<f64> {
+        Forecast::new(nominals.iter().map(|&n| self.scenario(n)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_observation_sets_delta() {
+        let mut b = UncertaintyBand::new(0.2);
+        assert_eq!(b.delta(), 0.0);
+        b.observe(110.0, 100.0);
+        assert!((b.delta() - 10.0).abs() < 1e-12);
+        assert_eq!(b.observations(), 1);
+    }
+
+    #[test]
+    fn delta_smooths_toward_recent_errors() {
+        let mut b = UncertaintyBand::new(0.5);
+        b.observe(10.0, 0.0); // err 10
+        b.observe(0.0, 0.0); // err 0 -> delta 5
+        assert!((b.delta() - 5.0).abs() < 1e-12);
+        b.observe(0.0, 0.0); // -> 2.5
+        assert!((b.delta() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_has_three_samples_around_nominal() {
+        let mut b = UncertaintyBand::new(1.0);
+        b.observe(104.0, 100.0);
+        let s = b.scenario(50.0);
+        assert_eq!(s.nominal, 50.0);
+        let values: Vec<f64> = s.samples.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, vec![46.0, 50.0, 54.0]);
+    }
+
+    #[test]
+    fn floor_clamps_samples() {
+        let mut b = UncertaintyBand::new(1.0).with_floor(0.0);
+        b.observe(20.0, 0.0); // delta 20
+        let s = b.scenario(5.0);
+        let values: Vec<f64> = s.samples.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, vec![0.0, 5.0, 25.0]);
+    }
+
+    #[test]
+    fn forecast_expands_each_step() {
+        let b = UncertaintyBand::new(0.3);
+        let f = b.forecast(&[1.0, 2.0, 3.0]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[2].nominal, 3.0);
+        assert_eq!(f[0].samples.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing")]
+    fn zero_smoothing_panics() {
+        let _ = UncertaintyBand::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn delta_never_negative(errs in proptest::collection::vec(-1e3..1e3f64, 0..50)) {
+            let mut b = UncertaintyBand::new(0.25);
+            for e in errs {
+                b.observe(e, 0.0);
+                prop_assert!(b.delta() >= 0.0);
+            }
+        }
+
+        #[test]
+        fn delta_bounded_by_max_error(errs in proptest::collection::vec(0.0..1e3f64, 1..50)) {
+            let mut b = UncertaintyBand::new(0.25);
+            let mut max_err = 0.0f64;
+            for e in &errs {
+                b.observe(*e, 0.0);
+                max_err = max_err.max(*e);
+            }
+            prop_assert!(b.delta() <= max_err + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+use crate::{Forecaster, LocalLinearTrend};
+
+/// Seasonal-plus-trend forecaster for periodic workloads.
+///
+/// Web traffic repeats daily (the WC'98 trace's "time-of-day variations");
+/// a pure trend filter keeps re-learning every morning what it forgot
+/// every night. This forecaster decomposes the signal into a per-phase
+/// seasonal profile (one EWMA cell per position in the period) and a
+/// residual tracked by a [`LocalLinearTrend`]:
+///
+/// ```text
+/// z(k) = s(k mod P) + r(k)
+/// ```
+///
+/// Predictions add the stored profile of the target phase to the
+/// extrapolated residual. Until one full period has been observed the
+/// forecaster behaves like the plain trend filter (profile zero).
+#[derive(Debug, Clone)]
+pub struct SeasonalTrend {
+    period: usize,
+    /// Per-phase profile values and observation counts.
+    profile: Vec<f64>,
+    seen: Vec<u64>,
+    /// Smoothing for profile updates.
+    alpha: f64,
+    residual: LocalLinearTrend,
+    observations: u64,
+    floor: Option<f64>,
+}
+
+impl SeasonalTrend {
+    /// A forecaster with `period` phases and profile smoothing
+    /// `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `alpha` is outside `(0, 1]`.
+    pub fn new(period: usize, alpha: f64) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        SeasonalTrend {
+            period,
+            profile: vec![0.0; period],
+            seen: vec![0; period],
+            alpha,
+            residual: LocalLinearTrend::with_default_noise(),
+            observations: 0,
+            floor: None,
+        }
+    }
+
+    /// Clamp predictions from below.
+    #[must_use]
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        self.floor = Some(floor);
+        self
+    }
+
+    /// The seasonal period in samples.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// The learned profile value of phase `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= period`.
+    pub fn profile(&self, p: usize) -> f64 {
+        self.profile[p]
+    }
+
+    fn clamp(&self, v: f64) -> f64 {
+        match self.floor {
+            Some(fl) => v.max(fl),
+            None => v,
+        }
+    }
+
+    /// Profile stand-in for phases never observed: the mean of the seen
+    /// phases (0.0 before any observation). Keeps first-cycle predictions
+    /// at the workload's level instead of at zero.
+    fn fallback_profile(&self) -> f64 {
+        let (sum, n) = self
+            .profile
+            .iter()
+            .zip(&self.seen)
+            .filter(|(_, &s)| s > 0)
+            .fold((0.0, 0u64), |(acc, n), (&v, _)| (acc + v, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+impl Forecaster for SeasonalTrend {
+    fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let phase = (self.observations % self.period as u64) as usize;
+        // Residual against the *pre-update* profile (the prediction this
+        // sample would have received).
+        let baseline = if self.seen[phase] > 0 {
+            self.profile[phase]
+        } else {
+            self.fallback_profile()
+        };
+        self.residual.observe(value - baseline);
+        if self.seen[phase] == 0 {
+            self.profile[phase] = value;
+        } else {
+            self.profile[phase] =
+                self.alpha * value + (1.0 - self.alpha) * self.profile[phase];
+        }
+        self.seen[phase] += 1;
+        self.observations += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> Vec<f64> {
+        let residuals = self.residual.predict(horizon);
+        (0..horizon)
+            .map(|h| {
+                let phase =
+                    ((self.observations + h as u64) % self.period as u64) as usize;
+                // Unseen phases fall back to the mean of seen phases.
+                let seasonal = if self.seen[phase] > 0 {
+                    self.profile[phase]
+                } else {
+                    self.fallback_profile()
+                };
+                self.clamp(seasonal + residuals[h])
+            })
+            .collect()
+    }
+
+    fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clean daily pattern: the forecaster should predict tomorrow's
+    /// phase from today's profile.
+    #[test]
+    fn learns_periodic_profile() {
+        let mut f = SeasonalTrend::new(24, 0.5).with_floor(0.0);
+        let day = |h: usize| 100.0 + 50.0 * ((h as f64 / 24.0) * std::f64::consts::TAU).sin();
+        for k in 0..24 * 10 {
+            f.observe(day(k % 24));
+        }
+        // Predict the next 24 hours and compare phase by phase.
+        let pred = f.predict(24);
+        for (h, p) in pred.iter().enumerate() {
+            let expect = day(h % 24);
+            assert!(
+                (p - expect).abs() < 8.0,
+                "phase {h}: predicted {p:.1}, expected {expect:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn beats_plain_trend_on_sharp_diurnal_swings() {
+        let day = |h: usize| if (8..18).contains(&(h % 24)) { 1000.0 } else { 100.0 };
+        let mut seasonal = SeasonalTrend::new(24, 0.3);
+        let mut trend = LocalLinearTrend::with_default_noise();
+        let mut err_s = 0.0;
+        let mut err_t = 0.0;
+        for k in 0..24 * 8 {
+            let z = day(k);
+            if k >= 24 * 4 {
+                err_s += (seasonal.predict_one() - z).abs();
+                err_t += (trend.predict_one() - z).abs();
+            }
+            seasonal.observe(z);
+            trend.observe(z);
+        }
+        assert!(
+            err_s < err_t * 0.5,
+            "seasonal ({err_s:.0}) should halve the trend error ({err_t:.0})"
+        );
+    }
+
+    #[test]
+    fn cold_start_behaves_like_trend() {
+        let mut f = SeasonalTrend::new(48, 0.2);
+        for _ in 0..5 {
+            f.observe(200.0);
+        }
+        let p = f.predict_one();
+        assert!(p.is_finite());
+        assert_eq!(f.observations(), 5);
+    }
+
+    #[test]
+    fn floor_applies() {
+        let mut f = SeasonalTrend::new(4, 0.5).with_floor(0.0);
+        for k in 0..16 {
+            f.observe(100.0 - 10.0 * k as f64);
+        }
+        assert!(f.predict(8).iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        let _ = SeasonalTrend::new(0, 0.5);
+    }
+}

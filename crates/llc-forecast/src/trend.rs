@@ -1,0 +1,276 @@
+use crate::{Forecaster, KalmanFilter, Matrix};
+
+/// Local-linear-trend forecaster — the paper's "ARIMA model, implemented
+/// by a Kalman filter" for arrival-rate prediction.
+///
+/// Structural model (Harvey, *Forecasting, Structural Time Series Models
+/// and the Kalman Filter*, the paper's ref. 16):
+///
+/// ```text
+/// level(k+1) = level(k) + slope(k) + w_level
+/// slope(k+1) = slope(k)            + w_slope
+/// z(k)       = level(k)            + v
+/// ```
+///
+/// Its reduced form is ARIMA(0,2,2), which tracks both the time-of-day
+/// ramps and the level shifts of web workloads. Noise variances can be
+/// given directly or tuned from a training prefix of the workload with
+/// [`LocalLinearTrend::fit`], mirroring "parameters of the Kalman filter
+/// were first tuned using an initial portion of the workload, and then
+/// used to forecast the remainder".
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalLinearTrend {
+    kf: KalmanFilter,
+    observations: u64,
+    /// Clamp predictions below at this value (arrival rates are >= 0).
+    floor: Option<f64>,
+}
+
+impl LocalLinearTrend {
+    /// Build with explicit noise variances.
+    ///
+    /// * `q_level`: process noise of the level component;
+    /// * `q_slope`: process noise of the slope component;
+    /// * `r`: observation noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variance is negative or non-finite, or if all three
+    /// are zero (the filter would be degenerate).
+    pub fn new(q_level: f64, q_slope: f64, r: f64) -> Self {
+        for (name, v) in [("q_level", q_level), ("q_slope", q_slope), ("r", r)] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and >= 0, got {v}");
+        }
+        assert!(
+            q_level > 0.0 || q_slope > 0.0 || r > 0.0,
+            "at least one noise variance must be positive"
+        );
+        let kf = KalmanFilter::new(
+            Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
+            Matrix::from_rows(&[&[1.0, 0.0]]),
+            Matrix::diagonal(&[q_level, q_slope]),
+            Matrix::diagonal(&[r]),
+            Matrix::column(&[0.0, 0.0]),
+            // Diffuse prior: the first observations dominate.
+            Matrix::diagonal(&[1e6, 1e6]),
+        )
+        .expect("trend filter dimensions are consistent by construction");
+        LocalLinearTrend {
+            kf,
+            observations: 0,
+            floor: None,
+        }
+    }
+
+    /// Reasonable defaults for web-workload arrival counts: fast level
+    /// adaptation, slow slope adaptation.
+    pub fn with_default_noise() -> Self {
+        LocalLinearTrend::new(10.0, 0.1, 100.0)
+    }
+
+    /// Clamp all predictions from below (e.g. at 0 for rates).
+    #[must_use]
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        self.floor = Some(floor);
+        self
+    }
+
+    /// Grid-search noise variances minimizing one-step-ahead squared error
+    /// on `training`, then return a fresh filter *already warmed up* on the
+    /// training data.
+    ///
+    /// The observation variance is pinned to the sample variance of the
+    /// one-step differences (a standard scale anchor) while the two process
+    /// noises sweep a log grid around it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `training` has fewer than 8 points.
+    pub fn fit(training: &[f64]) -> Self {
+        assert!(training.len() >= 8, "need at least 8 training points");
+        let diffs: Vec<f64> = training.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean_d = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        let var_d = diffs.iter().map(|d| (d - mean_d).powi(2)).sum::<f64>()
+            / diffs.len() as f64;
+        let r = var_d.max(1e-6);
+
+        let ratios = [1e-3, 1e-2, 1e-1, 1.0, 10.0];
+        let mut best: Option<(f64, f64, f64)> = None; // (sse, q_level, q_slope)
+        for &rl in &ratios {
+            for &rs in &ratios {
+                let q_level = rl * r;
+                let q_slope = rs * r * 0.01;
+                let mut f = LocalLinearTrend::new(q_level, q_slope, r);
+                let mut sse = 0.0;
+                for &z in training {
+                    if f.observations >= 2 {
+                        let pred = f.predict_one();
+                        sse += (pred - z).powi(2);
+                    }
+                    f.observe(z);
+                }
+                if best.is_none_or(|(s, _, _)| sse < s) {
+                    best = Some((sse, q_level, q_slope));
+                }
+            }
+        }
+        let (_, q_level, q_slope) = best.expect("grid is non-empty");
+        let mut fitted = LocalLinearTrend::new(q_level, q_slope, r);
+        for &z in training {
+            fitted.observe(z);
+        }
+        fitted
+    }
+
+    /// The current level estimate.
+    pub fn level(&self) -> f64 {
+        self.kf.state().get(0, 0)
+    }
+
+    /// The current slope estimate.
+    pub fn slope(&self) -> f64 {
+        self.kf.state().get(1, 0)
+    }
+
+    fn clamp(&self, v: f64) -> f64 {
+        match self.floor {
+            Some(fl) => v.max(fl),
+            None => v,
+        }
+    }
+}
+
+impl Forecaster for LocalLinearTrend {
+    fn observe(&mut self, value: f64) {
+        // Ignore non-finite samples rather than poisoning the filter: a
+        // forecast blackout should degrade, not crash, the controller.
+        if !value.is_finite() {
+            return;
+        }
+        self.kf
+            .step_scalar(value)
+            .expect("scalar observation model by construction");
+        self.observations += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> Vec<f64> {
+        self.kf
+            .forecast_observations(horizon)
+            .into_iter()
+            .map(|m| self.clamp(m.get(0, 0)))
+            .collect()
+    }
+
+    fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tracks_linear_ramp() {
+        let mut f = LocalLinearTrend::with_default_noise();
+        for k in 0..100 {
+            f.observe(5.0 * k as f64 + 20.0);
+        }
+        assert!((f.slope() - 5.0).abs() < 0.5);
+        let p = f.predict(4);
+        let last = 5.0 * 99.0 + 20.0;
+        for (i, v) in p.iter().enumerate() {
+            let expect = last + 5.0 * (i as f64 + 1.0);
+            assert!((v - expect).abs() < 2.0, "step {i}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn tracks_constant_signal_with_near_zero_slope() {
+        let mut f = LocalLinearTrend::with_default_noise();
+        for _ in 0..200 {
+            f.observe(400.0);
+        }
+        assert!((f.level() - 400.0).abs() < 1.0);
+        assert!(f.slope().abs() < 0.1);
+    }
+
+    #[test]
+    fn floor_clamps_predictions() {
+        let mut f = LocalLinearTrend::with_default_noise().with_floor(0.0);
+        // Steep downward ramp crossing zero.
+        for k in 0..50 {
+            f.observe(100.0 - 10.0 * k as f64);
+        }
+        let p = f.predict(5);
+        assert!(p.iter().all(|&v| v >= 0.0));
+        assert_eq!(p[4], 0.0, "deep extrapolation clamps to the floor");
+    }
+
+    #[test]
+    fn nonfinite_observations_are_ignored() {
+        let mut f = LocalLinearTrend::with_default_noise();
+        for _ in 0..50 {
+            f.observe(100.0);
+        }
+        let before = f.predict_one();
+        f.observe(f64::NAN);
+        f.observe(f64::INFINITY);
+        assert_eq!(f.observations(), 50);
+        assert!((f.predict_one() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_beats_default_on_noisy_ramp() {
+        // Deterministic pseudo-noise so the test is stable.
+        let noise = |k: usize| ((k * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+        let series: Vec<f64> = (0..200)
+            .map(|k| 1000.0 + 3.0 * k as f64 + 80.0 * noise(k))
+            .collect();
+        let fitted = LocalLinearTrend::fit(&series[..120]);
+        let mut default = LocalLinearTrend::with_default_noise();
+        for &z in &series[..120] {
+            default.observe(z);
+        }
+        let mut err_fit = 0.0;
+        let mut err_def = 0.0;
+        let mut ff = fitted;
+        let mut fd = default;
+        for &z in &series[120..] {
+            err_fit += (ff.predict_one() - z).powi(2);
+            err_def += (fd.predict_one() - z).powi(2);
+            ff.observe(z);
+            fd.observe(z);
+        }
+        assert!(
+            err_fit <= err_def * 1.5,
+            "fitted ({err_fit:.1}) should not be much worse than default ({err_def:.1})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn fit_needs_enough_data() {
+        let _ = LocalLinearTrend::fit(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn negative_variance_panics() {
+        let _ = LocalLinearTrend::new(-1.0, 0.1, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn predictions_are_finite(values in proptest::collection::vec(0.0..1e5f64, 10..80)) {
+            let mut f = LocalLinearTrend::with_default_noise();
+            for v in &values {
+                f.observe(*v);
+            }
+            for p in f.predict(5) {
+                prop_assert!(p.is_finite());
+            }
+        }
+    }
+}

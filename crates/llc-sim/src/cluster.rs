@@ -1,0 +1,677 @@
+use crate::computer::Admission;
+use crate::{Computer, PowerModel, Request, WeightedRouter, WindowStats};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Errors reported by the cluster simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A computer index was out of range.
+    UnknownComputer(usize),
+    /// A module index was out of range.
+    UnknownModule(usize),
+    /// A weight vector had the wrong length for its router.
+    WeightLengthMismatch {
+        /// Targets expected by the router.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// `run_until` / `schedule_arrival` was asked to move into the past.
+    TimeRanBackwards {
+        /// Current simulation time.
+        now: f64,
+        /// The offending requested time.
+        requested: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownComputer(i) => write!(f, "no computer with index {i}"),
+            SimError::UnknownModule(i) => write!(f, "no module with index {i}"),
+            SimError::WeightLengthMismatch { expected, got } => {
+                write!(f, "weight vector has length {got}, router expects {expected}")
+            }
+            SimError::TimeRanBackwards { now, requested } => {
+                write!(f, "requested time {requested} precedes current time {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Static description of one computer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputerConfig {
+    /// Operating frequencies in Hz, strictly ascending.
+    pub frequencies: Vec<f64>,
+    /// Relative full-speed capacity (1.0 = reference machine).
+    pub speed: f64,
+    /// Power model parameters.
+    pub power: PowerModel,
+    /// Switch-on dead time in seconds.
+    pub boot_delay: f64,
+}
+
+impl ComputerConfig {
+    /// A reference-speed computer with the given frequency set, power
+    /// model and boot delay.
+    pub fn new(frequencies: Vec<f64>, power: PowerModel, boot_delay: f64) -> Self {
+        ComputerConfig {
+            frequencies,
+            speed: 1.0,
+            power,
+            boot_delay,
+        }
+    }
+
+    /// Override the relative speed.
+    #[must_use]
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+}
+
+/// Static description of the whole cluster: computers grouped into the
+/// paper's modules (Fig. 2(a)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// One inner vector of computer configs per module.
+    pub modules: Vec<Vec<ComputerConfig>>,
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    Arrival { demand: f64 },
+    Departure { comp: usize, epoch: u64 },
+    BootDone { comp: usize, epoch: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event-driven cluster simulator (the plant of Fig. 1(a)).
+///
+/// Requests scheduled via [`ClusterSim::schedule_arrival`] flow through a
+/// two-level dispatcher (global → module → computer) realizing the γ
+/// fractions set by the controllers, queue FCFS at each computer, and are
+/// served at the DVFS-scaled rate. [`ClusterSim::run_until`] advances the
+/// event loop; between calls the controllers observe per-computer
+/// [`WindowStats`] and actuate frequencies, power states and weights.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    now: f64,
+    computers: Vec<Computer>,
+    /// Global indices of the computers of each module.
+    modules: Vec<Vec<usize>>,
+    global_router: WeightedRouter,
+    module_routers: Vec<WeightedRouter>,
+    module_stats: Vec<WindowStats>,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    next_request_id: u64,
+    dropped_total: u64,
+}
+
+impl ClusterSim {
+    /// Build the simulator at time 0 with every computer `Off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no modules or an empty module (the
+    /// computer constructor validates the rest).
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(!config.modules.is_empty(), "cluster needs at least one module");
+        assert!(
+            config.modules.iter().all(|m| !m.is_empty()),
+            "every module needs at least one computer"
+        );
+        let mut computers = Vec::new();
+        let mut modules = Vec::new();
+        for module_cfg in &config.modules {
+            let mut indices = Vec::with_capacity(module_cfg.len());
+            for c in module_cfg {
+                indices.push(computers.len());
+                computers.push(Computer::new(
+                    c.frequencies.clone(),
+                    c.speed,
+                    c.power,
+                    c.boot_delay,
+                ));
+            }
+            modules.push(indices);
+        }
+        let module_routers = modules
+            .iter()
+            .map(|m| WeightedRouter::new(m.len()))
+            .collect();
+        let module_count = modules.len();
+        ClusterSim {
+            now: 0.0,
+            computers,
+            modules,
+            global_router: WeightedRouter::new(module_count),
+            module_routers,
+            module_stats: vec![WindowStats::default(); module_count],
+            events: BinaryHeap::new(),
+            seq: 0,
+            next_request_id: 0,
+            dropped_total: 0,
+        }
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of computers in the cluster.
+    pub fn num_computers(&self) -> usize {
+        self.computers.len()
+    }
+
+    /// Number of modules.
+    pub fn num_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Global computer indices belonging to module `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn module_members(&self, m: usize) -> &[usize] {
+        &self.modules[m]
+    }
+
+    /// Immutable view of computer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn computer(&self, i: usize) -> &Computer {
+        &self.computers[i]
+    }
+
+    /// Total requests dropped because no operating target existed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_total
+    }
+
+    /// Total energy consumed by all computers up to the current time.
+    pub fn total_energy(&self) -> f64 {
+        self.computers.iter().map(|c| c.energy_at(self.now)).sum()
+    }
+
+    /// Number of computers currently active (on, booting or draining).
+    pub fn active_count(&self) -> usize {
+        self.computers.iter().filter(|c| c.is_active()).count()
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Schedule a request arrival at absolute time `time` with full-speed
+    /// demand `demand` seconds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeRanBackwards`] if `time < now`.
+    pub fn schedule_arrival(&mut self, time: f64, demand: f64) -> Result<(), SimError> {
+        if time < self.now {
+            return Err(SimError::TimeRanBackwards {
+                now: self.now,
+                requested: time,
+            });
+        }
+        self.push_event(time, EventKind::Arrival { demand });
+        Ok(())
+    }
+
+    /// Set the global dispatch fractions `{γ_i}` over modules.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WeightLengthMismatch`] on wrong length.
+    pub fn set_module_weights(&mut self, weights: &[f64]) -> Result<(), SimError> {
+        if weights.len() != self.modules.len() {
+            return Err(SimError::WeightLengthMismatch {
+                expected: self.modules.len(),
+                got: weights.len(),
+            });
+        }
+        self.global_router.set_weights(weights);
+        Ok(())
+    }
+
+    /// Set module `m`'s dispatch fractions `{γ_ij}` over its computers.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownModule`] / [`SimError::WeightLengthMismatch`].
+    pub fn set_computer_weights(&mut self, m: usize, weights: &[f64]) -> Result<(), SimError> {
+        let router = self
+            .module_routers
+            .get_mut(m)
+            .ok_or(SimError::UnknownModule(m))?;
+        if weights.len() != router.len() {
+            return Err(SimError::WeightLengthMismatch {
+                expected: router.len(),
+                got: weights.len(),
+            });
+        }
+        router.set_weights(weights);
+        Ok(())
+    }
+
+    /// Order computer `i` on (takes `boot_delay` to become operational).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn power_on(&mut self, i: usize) {
+        let now = self.now;
+        if let Some(ready_at) = self.computers[i].power_on(now) {
+            let epoch = self.computers[i].bump_epoch();
+            if ready_at.is_finite() {
+                self.push_event(ready_at, EventKind::BootDone { comp: i, epoch });
+            }
+        } else {
+            // Draining -> On recovery: the in-service job keeps running and
+            // its departure event stays valid; nothing to schedule.
+        }
+    }
+
+    /// Initialization helper: force computer `i` straight into `On`
+    /// (no boot delay, no switch-on count). Use only while constructing a
+    /// pre-warmed scenario before the event loop starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn force_on(&mut self, i: usize) {
+        let now = self.now;
+        self.computers[i].force_on(now);
+        self.computers[i].bump_epoch();
+        if let Some(t) = self.computers[i].completion_time() {
+            let epoch = self.computers[i].epoch();
+            self.push_event(t, EventKind::Departure { comp: i, epoch });
+        }
+    }
+
+    /// Order computer `i` off (drains if busy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn power_off(&mut self, i: usize) {
+        let now = self.now;
+        self.computers[i].power_off(now);
+        // Cancelling a boot invalidates the pending BootDone event; a
+        // draining computer keeps serving so departures stay valid.
+        if matches!(self.computers[i].state(), crate::PowerState::Off) {
+            self.computers[i].bump_epoch();
+        }
+    }
+
+    /// Set computer `i`'s frequency by index into its frequency table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or the index is out of range.
+    pub fn set_frequency(&mut self, i: usize, index: usize) {
+        let now = self.now;
+        let new_completion = self.computers[i].set_frequency_index(index, now);
+        if let Some(t) = new_completion {
+            let epoch = self.computers[i].bump_epoch();
+            self.push_event(t, EventKind::Departure { comp: i, epoch });
+        }
+    }
+
+    /// Drain per-computer window statistics (resetting them), in global
+    /// computer order.
+    pub fn drain_computer_stats(&mut self) -> Vec<WindowStats> {
+        self.computers.iter_mut().map(|c| c.drain_stats()).collect()
+    }
+
+    /// Drain per-module arrival statistics (module-level routing counts).
+    pub fn drain_module_stats(&mut self) -> Vec<WindowStats> {
+        self.module_stats.iter_mut().map(|s| s.drain()).collect()
+    }
+
+    /// Advance the event loop to absolute time `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeRanBackwards`] if `t < now`.
+    pub fn run_until(&mut self, t: f64) -> Result<(), SimError> {
+        if t < self.now {
+            return Err(SimError::TimeRanBackwards {
+                now: self.now,
+                requested: t,
+            });
+        }
+        while let Some(head) = self.events.peek() {
+            if head.time > t {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            self.now = ev.time.max(self.now);
+            match ev.kind {
+                EventKind::Arrival { demand } => self.handle_arrival(demand),
+                EventKind::Departure { comp, epoch } => {
+                    if self.computers[comp].epoch() == epoch {
+                        self.handle_departure(comp);
+                    }
+                }
+                EventKind::BootDone { comp, epoch } => {
+                    if self.computers[comp].epoch() == epoch {
+                        self.handle_boot_done(comp);
+                    }
+                }
+            }
+        }
+        self.now = t;
+        Ok(())
+    }
+
+    fn handle_arrival(&mut self, demand: f64) {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        let request = Request::new(id, self.now, demand);
+
+        let Some(m) = self.global_router.route() else {
+            self.dropped_total += 1;
+            return;
+        };
+        self.module_stats[m].arrivals += 1;
+        let Some(local) = self.module_routers[m].route() else {
+            self.module_stats[m].dropped += 1;
+            self.dropped_total += 1;
+            return;
+        };
+        let comp = self.modules[m][local];
+        match self.computers[comp].offer(request, self.now) {
+            Admission::Started => {
+                let t = self.computers[comp]
+                    .completion_time()
+                    .expect("started implies serving");
+                let epoch = self.computers[comp].bump_epoch();
+                self.push_event(t, EventKind::Departure { comp, epoch });
+            }
+            Admission::Queued => {}
+            Admission::Rejected => {
+                self.module_stats[m].dropped += 1;
+                self.dropped_total += 1;
+            }
+        }
+    }
+
+    fn handle_departure(&mut self, comp: usize) {
+        let _finished = self.computers[comp].complete(self.now);
+        if let Some(t) = self.computers[comp].completion_time() {
+            let epoch = self.computers[comp].bump_epoch();
+            self.push_event(t, EventKind::Departure { comp, epoch });
+        }
+    }
+
+    fn handle_boot_done(&mut self, comp: usize) {
+        let started = self.computers[comp].finish_boot(self.now);
+        if started {
+            let t = self.computers[comp]
+                .completion_time()
+                .expect("boot started a job");
+            let epoch = self.computers[comp].bump_epoch();
+            self.push_event(t, EventKind::Departure { comp, epoch });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerState;
+
+    fn one_computer_cluster() -> ClusterSim {
+        let cfg = ClusterConfig {
+            modules: vec![vec![ComputerConfig::new(
+                vec![5.0e8, 1.0e9],
+                PowerModel::paper_default(),
+                120.0,
+            )]],
+        };
+        let mut sim = ClusterSim::new(cfg);
+        sim.set_module_weights(&[1.0]).unwrap();
+        sim.set_computer_weights(0, &[1.0]).unwrap();
+        sim
+    }
+
+    fn two_module_cluster() -> ClusterSim {
+        let comp = || ComputerConfig::new(vec![1.0e9], PowerModel::paper_default(), 0.0);
+        let cfg = ClusterConfig {
+            modules: vec![vec![comp(), comp()], vec![comp(), comp()]],
+        };
+        ClusterSim::new(cfg)
+    }
+
+    #[test]
+    fn request_served_end_to_end() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.run_until(120.0).unwrap(); // boot completes
+        assert_eq!(sim.computer(0).state(), PowerState::On);
+        sim.schedule_arrival(121.0, 0.5).unwrap();
+        sim.run_until(125.0).unwrap();
+        let stats = sim.drain_computer_stats();
+        assert_eq!(stats[0].completions, 1);
+        assert!((stats[0].response_sum - 0.5).abs() < 1e-9);
+        assert_eq!(sim.dropped(), 0);
+    }
+
+    #[test]
+    fn requests_during_boot_wait() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.schedule_arrival(60.0, 1.0).unwrap();
+        sim.run_until(119.0).unwrap();
+        assert_eq!(sim.computer(0).queue_length(), 1);
+        sim.run_until(121.5).unwrap();
+        // Service starts at 120, 1 s at full speed -> done at 121.
+        let stats = sim.drain_computer_stats();
+        assert_eq!(stats[0].completions, 1);
+        assert!((stats[0].response_sum - 61.0).abs() < 1e-9, "waited through boot");
+    }
+
+    #[test]
+    fn all_off_drops_requests() {
+        let mut sim = one_computer_cluster();
+        sim.schedule_arrival(1.0, 0.01).unwrap();
+        sim.run_until(2.0).unwrap();
+        assert_eq!(sim.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_weights_drop_at_global_router() {
+        let mut sim = two_module_cluster();
+        // No weights set at all: global router drops.
+        sim.schedule_arrival(0.5, 0.01).unwrap();
+        sim.run_until(1.0).unwrap();
+        assert_eq!(sim.dropped(), 1);
+        let m = sim.drain_module_stats();
+        assert_eq!(m[0].arrivals + m[1].arrivals, 0);
+    }
+
+    #[test]
+    fn module_weights_split_arrivals() {
+        let mut sim = two_module_cluster();
+        for i in 0..4 {
+            sim.power_on(i);
+        }
+        sim.set_module_weights(&[0.75, 0.25]).unwrap();
+        sim.set_computer_weights(0, &[0.5, 0.5]).unwrap();
+        sim.set_computer_weights(1, &[1.0, 0.0]).unwrap();
+        for k in 0..100 {
+            sim.schedule_arrival(0.01 * f64::from(k), 0.001).unwrap();
+        }
+        sim.run_until(10.0).unwrap();
+        let m = sim.drain_module_stats();
+        assert_eq!(m[0].arrivals, 75);
+        assert_eq!(m[1].arrivals, 25);
+        let c = sim.drain_computer_stats();
+        assert_eq!(c[2].arrivals, 25);
+        assert_eq!(c[3].arrivals, 0);
+        assert_eq!(sim.dropped(), 0);
+    }
+
+    #[test]
+    fn frequency_change_mid_service_reschedules_departure() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.run_until(120.0).unwrap();
+        sim.schedule_arrival(120.0, 1.0).unwrap();
+        sim.run_until(120.5).unwrap();
+        sim.set_frequency(0, 0); // φ = 0.5, 0.5 demand left -> 1 s more
+        sim.run_until(121.4).unwrap();
+        assert_eq!(sim.computer(0).queue_length(), 1, "not done yet");
+        sim.run_until(121.6).unwrap();
+        assert_eq!(sim.computer(0).queue_length(), 0, "done at 121.5");
+    }
+
+    #[test]
+    fn stale_departure_events_ignored() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.run_until(120.0).unwrap();
+        sim.schedule_arrival(120.0, 1.0).unwrap();
+        sim.run_until(120.2).unwrap();
+        // Two reschedules leave two stale events in the heap.
+        sim.set_frequency(0, 0);
+        sim.set_frequency(0, 1);
+        sim.run_until(130.0).unwrap();
+        let stats = sim.drain_computer_stats();
+        assert_eq!(stats[0].completions, 1, "exactly one completion");
+    }
+
+    #[test]
+    fn cancelled_boot_never_completes() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.run_until(60.0).unwrap();
+        sim.power_off(0);
+        sim.run_until(500.0).unwrap();
+        assert_eq!(sim.computer(0).state(), PowerState::Off);
+    }
+
+    #[test]
+    fn draining_computer_finishes_work_then_off() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.run_until(120.0).unwrap();
+        sim.schedule_arrival(120.0, 2.0).unwrap();
+        sim.run_until(120.1).unwrap();
+        sim.power_off(0);
+        assert_eq!(sim.computer(0).state(), PowerState::Draining);
+        sim.run_until(123.0).unwrap();
+        assert_eq!(sim.computer(0).state(), PowerState::Off);
+        let stats = sim.drain_computer_stats();
+        assert_eq!(stats[0].completions, 1);
+    }
+
+    #[test]
+    fn time_cannot_run_backwards() {
+        let mut sim = one_computer_cluster();
+        sim.run_until(10.0).unwrap();
+        assert!(matches!(
+            sim.run_until(5.0),
+            Err(SimError::TimeRanBackwards { .. })
+        ));
+        assert!(matches!(
+            sim.schedule_arrival(5.0, 0.1),
+            Err(SimError::TimeRanBackwards { .. })
+        ));
+    }
+
+    #[test]
+    fn energy_grows_while_active_only() {
+        let mut sim = one_computer_cluster();
+        sim.run_until(100.0).unwrap();
+        assert_eq!(sim.total_energy(), 0.0);
+        sim.power_on(0);
+        sim.run_until(320.0).unwrap();
+        let e = sim.total_energy();
+        // Boot [100, 220] at 8.0 + idle-on [220, 320] at 0.75 = 960 + 75.
+        assert!((e - 1035.0).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn fcfs_queueing_accumulates_response_time() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.run_until(120.0).unwrap();
+        // Three back-to-back 1 s requests at t=120.
+        for _ in 0..3 {
+            sim.schedule_arrival(120.0, 1.0).unwrap();
+        }
+        sim.run_until(200.0).unwrap();
+        let stats = sim.drain_computer_stats();
+        assert_eq!(stats[0].completions, 3);
+        // Responses: 1, 2, 3 seconds.
+        assert!((stats[0].response_sum - 6.0).abs() < 1e-9);
+        assert_eq!(stats[0].mean_response(), Some(2.0));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase() {
+        for e in [
+            SimError::UnknownComputer(1),
+            SimError::UnknownModule(2),
+            SimError::WeightLengthMismatch {
+                expected: 2,
+                got: 3,
+            },
+            SimError::TimeRanBackwards {
+                now: 1.0,
+                requested: 0.5,
+            },
+        ] {
+            assert!(e.to_string().chars().next().unwrap().is_lowercase());
+        }
+    }
+}

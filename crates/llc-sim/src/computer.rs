@@ -1,0 +1,504 @@
+use crate::{EnergyMeter, PowerModel, Request, Server, WindowStats};
+
+/// Operating state of a simulated computer.
+///
+/// The paper's control actions carry **dead times**: "actions such as
+/// (de)activating computing resources in a DCS often incur a substantial
+/// dead time". Switching a computer on therefore passes through `Booting`
+/// for `boot_delay` seconds (2 minutes in the experiments — the L1
+/// sampling period). Switching off a busy computer drains its queue first;
+/// a draining computer accepts no new work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerState {
+    /// Powered down: zero draw, accepts no requests.
+    Off,
+    /// Switch-on in progress; operational at `ready_at`.
+    Booting {
+        /// Simulation time at which boot completes.
+        ready_at: f64,
+    },
+    /// Fully operational.
+    On,
+    /// Ordered off but still finishing queued requests.
+    Draining,
+}
+
+/// Outcome of offering a request to a computer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request went straight into service.
+    Started,
+    /// The request was queued (server busy or still booting).
+    Queued,
+    /// The computer is off/draining and refused the request.
+    Rejected,
+}
+
+/// A simulated computer: FCFS server + DVFS frequency set + power-state
+/// machine + energy meter + per-window observation counters.
+#[derive(Debug, Clone)]
+pub struct Computer {
+    frequencies: Vec<f64>,
+    freq_index: usize,
+    /// Relative processing capacity at full frequency (1.0 = reference).
+    speed: f64,
+    power_model: PowerModel,
+    boot_delay: f64,
+    state: PowerState,
+    server: Server,
+    meter: EnergyMeter,
+    stats: WindowStats,
+    epoch: u64,
+    switch_ons: u64,
+    switch_offs: u64,
+    /// Completions drained out of `stats` so far (keeps `completed()` total).
+    lifetime_completions: u64,
+}
+
+impl Computer {
+    /// Build a computer, initially `Off`, at time 0.
+    ///
+    /// `frequencies` are absolute operating points in Hz, ascending;
+    /// `φ` for index `j` is `frequencies[j] / frequencies.last()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequencies` is empty, unsorted, or non-positive; if
+    /// `speed <= 0`; or if `boot_delay < 0`.
+    pub fn new(
+        frequencies: Vec<f64>,
+        speed: f64,
+        power_model: PowerModel,
+        boot_delay: f64,
+    ) -> Self {
+        assert!(!frequencies.is_empty(), "need at least one frequency");
+        assert!(
+            frequencies.windows(2).all(|w| w[0] < w[1]),
+            "frequencies must be strictly ascending"
+        );
+        assert!(
+            frequencies[0] > 0.0 && frequencies.iter().all(|f| f.is_finite()),
+            "frequencies must be positive and finite"
+        );
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+        assert!(
+            boot_delay >= 0.0,
+            "boot delay must be non-negative (may be +inf for a failed machine)"
+        );
+        let freq_index = frequencies.len() - 1;
+        Computer {
+            frequencies,
+            freq_index,
+            speed,
+            power_model,
+            boot_delay,
+            state: PowerState::Off,
+            server: Server::new(1.0),
+            meter: EnergyMeter::new(0.0, 0.0),
+            stats: WindowStats::default(),
+            epoch: 0,
+            switch_ons: 0,
+            switch_offs: 0,
+            lifetime_completions: 0,
+        }
+    }
+
+    /// The available frequency set (Hz, ascending).
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Index of the current frequency setting.
+    pub fn frequency_index(&self) -> usize {
+        self.freq_index
+    }
+
+    /// Current absolute frequency in Hz.
+    pub fn frequency(&self) -> f64 {
+        self.frequencies[self.freq_index]
+    }
+
+    /// Current scaling factor `φ = u / u_max ∈ (0, 1]`.
+    pub fn phi(&self) -> f64 {
+        self.frequency() / *self.frequencies.last().expect("non-empty")
+    }
+
+    /// Relative full-speed capacity of this computer.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Configured boot dead time in seconds.
+    pub fn boot_delay(&self) -> f64 {
+        self.boot_delay
+    }
+
+    /// Power-state of the machine.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// `true` if the computer counts as "on" for the α vector (booting
+    /// counts: the switch-on decision has been taken).
+    pub fn is_active(&self) -> bool {
+        !matches!(self.state, PowerState::Off)
+    }
+
+    /// Requests in the system (queued + in service) — observed `q(k)`.
+    pub fn queue_length(&self) -> usize {
+        self.server.queue_length()
+    }
+
+    /// Total completed requests over the computer's lifetime.
+    pub fn completed(&self) -> u64 {
+        self.stats.completions + self.lifetime_completions
+    }
+
+    /// Number of switch-on transitions so far (chattering metric).
+    pub fn switch_ons(&self) -> u64 {
+        self.switch_ons
+    }
+
+    /// Number of switch-off orders so far.
+    pub fn switch_offs(&self) -> u64 {
+        self.switch_offs
+    }
+
+    /// Energy consumed up to `now` (power·seconds).
+    pub fn energy_at(&self, now: f64) -> f64 {
+        let mut m = self.meter;
+        m.advance(now);
+        m.energy()
+    }
+
+    /// Event epoch — bumped on every change that invalidates scheduled
+    /// departure/boot events for this computer.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bump and return the event epoch.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Instantaneous power draw implied by the current state.
+    fn current_power(&self) -> f64 {
+        match self.state {
+            PowerState::Off => 0.0,
+            PowerState::Booting { .. } => self.power_model.boot_cost(),
+            PowerState::On | PowerState::Draining => {
+                if self.server.busy() {
+                    self.power_model.operating(self.phi())
+                } else {
+                    self.power_model.base_cost()
+                }
+            }
+        }
+    }
+
+    fn refresh_power(&mut self, now: f64) {
+        self.meter.set_power(self.current_power(), now);
+    }
+
+    /// Order the computer on at time `now`. Returns `Some(ready_at)` when
+    /// a boot was started, `None` when the order was a no-op (already
+    /// on/booting) or an instant recovery from `Draining`.
+    pub fn power_on(&mut self, now: f64) -> Option<f64> {
+        match self.state {
+            PowerState::Off => {
+                let ready_at = now + self.boot_delay;
+                self.state = PowerState::Booting { ready_at };
+                self.switch_ons += 1;
+                self.refresh_power(now);
+                Some(ready_at)
+            }
+            PowerState::Draining => {
+                self.state = PowerState::On;
+                self.refresh_power(now);
+                None
+            }
+            PowerState::Booting { .. } | PowerState::On => None,
+        }
+    }
+
+    /// Initialization helper: put the computer straight into `On` without
+    /// a boot delay or switch-on accounting. Intended for constructing a
+    /// pre-warmed cluster at `t = 0` (experiments that start with the
+    /// machines already operating, as the paper's figures do); not a
+    /// control action.
+    pub fn force_on(&mut self, now: f64) {
+        self.state = PowerState::On;
+        self.server.start_next(now);
+        self.refresh_power(now);
+    }
+
+    /// Complete a boot at time `now` (driven by the cluster event loop).
+    /// Returns `true` if a queued request just started service.
+    pub fn finish_boot(&mut self, now: f64) -> bool {
+        debug_assert!(matches!(self.state, PowerState::Booting { .. }));
+        self.state = PowerState::On;
+        let started = self.server.start_next(now);
+        self.refresh_power(now);
+        started
+    }
+
+    /// Order the computer off at time `now`. A busy computer drains first;
+    /// a booting computer cancels its boot.
+    pub fn power_off(&mut self, now: f64) {
+        match self.state {
+            PowerState::On => {
+                self.switch_offs += 1;
+                self.state = if self.server.queue_length() > 0 {
+                    PowerState::Draining
+                } else {
+                    PowerState::Off
+                };
+                self.refresh_power(now);
+            }
+            PowerState::Booting { .. } => {
+                self.switch_offs += 1;
+                self.state = PowerState::Off;
+                self.refresh_power(now);
+            }
+            PowerState::Off | PowerState::Draining => {}
+        }
+    }
+
+    /// Select frequency by index at time `now`. Returns the new completion
+    /// time of the in-service request, if any (caller reschedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_frequency_index(&mut self, index: usize, now: f64) -> Option<f64> {
+        assert!(index < self.frequencies.len(), "frequency index out of range");
+        self.freq_index = index;
+        let completion = self.server.set_phi(self.phi(), now);
+        self.refresh_power(now);
+        completion
+    }
+
+    /// Offer a request to the computer at time `now`.
+    ///
+    /// The request's reference demand is scaled by this computer's speed
+    /// (a machine twice as fast halves the full-speed demand).
+    pub fn offer(&mut self, request: Request, now: f64) -> Admission {
+        let scaled = Request::new(request.id, request.arrival, request.demand / self.speed);
+        match self.state {
+            PowerState::On => {
+                self.stats.arrivals += 1;
+                if self.server.enqueue(scaled, now) {
+                    self.refresh_power(now);
+                    Admission::Started
+                } else {
+                    Admission::Queued
+                }
+            }
+            PowerState::Booting { .. } => {
+                self.stats.arrivals += 1;
+                self.server.enqueue_waiting(scaled);
+                Admission::Queued
+            }
+            PowerState::Off | PowerState::Draining => Admission::Rejected,
+        }
+    }
+
+    /// Current completion time of the in-service request (if serving).
+    pub fn completion_time(&self) -> Option<f64> {
+        if matches!(self.state, PowerState::On | PowerState::Draining) {
+            self.server.completion_time()
+        } else {
+            None
+        }
+    }
+
+    /// Complete the in-service request at `now`, recording response-time
+    /// and demand observations; auto-transitions `Draining → Off` when the
+    /// queue empties. Returns the finished request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request is in service.
+    pub fn complete(&mut self, now: f64) -> Request {
+        let finished = self.server.complete(now);
+        self.stats.completions += 1;
+        self.stats.response_sum += finished.response_time(now);
+        self.stats.demand_sum += finished.demand;
+        if matches!(self.state, PowerState::Draining) && self.server.queue_length() == 0 {
+            self.state = PowerState::Off;
+        }
+        self.refresh_power(now);
+        finished
+    }
+
+    /// Drain and reset this computer's window statistics.
+    pub fn drain_stats(&mut self) -> WindowStats {
+        let w = self.stats.drain();
+        self.lifetime_completions += w.completions;
+        w
+    }
+
+    /// Peek at the in-progress window statistics without resetting.
+    pub fn stats(&self) -> &WindowStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn computer() -> Computer {
+        Computer::new(
+            vec![6.0e8, 1.2e9],
+            1.0,
+            PowerModel::paper_default(),
+            120.0,
+        )
+    }
+
+    #[test]
+    fn starts_off_with_max_frequency_selected() {
+        let c = computer();
+        assert_eq!(c.state(), PowerState::Off);
+        assert_eq!(c.phi(), 1.0);
+        assert_eq!(c.frequency(), 1.2e9);
+        assert!(!c.is_active());
+    }
+
+    #[test]
+    fn boot_sequence() {
+        let mut c = computer();
+        let ready = c.power_on(0.0).expect("boot starts");
+        assert_eq!(ready, 120.0);
+        assert!(matches!(c.state(), PowerState::Booting { .. }));
+        assert!(c.is_active());
+        assert_eq!(c.power_on(1.0), None, "double power-on is a no-op");
+        c.finish_boot(120.0);
+        assert_eq!(c.state(), PowerState::On);
+    }
+
+    #[test]
+    fn offers_while_booting_queue_and_start_at_boot() {
+        let mut c = computer();
+        c.power_on(0.0);
+        let adm = c.offer(Request::new(1, 10.0, 0.02), 10.0);
+        assert_eq!(adm, Admission::Queued);
+        assert_eq!(c.queue_length(), 1);
+        assert_eq!(c.completion_time(), None, "not serving while booting");
+        let started = c.finish_boot(120.0);
+        assert!(started);
+        assert_eq!(c.completion_time(), Some(120.02));
+    }
+
+    #[test]
+    fn off_computer_rejects() {
+        let mut c = computer();
+        assert_eq!(c.offer(Request::new(1, 0.0, 0.01), 0.0), Admission::Rejected);
+    }
+
+    #[test]
+    fn draining_completes_then_turns_off() {
+        let mut c = computer();
+        c.power_on(0.0);
+        c.finish_boot(120.0);
+        assert_eq!(c.offer(Request::new(1, 120.0, 1.0), 120.0), Admission::Started);
+        c.power_off(120.5);
+        assert_eq!(c.state(), PowerState::Draining);
+        assert_eq!(c.offer(Request::new(2, 120.6, 1.0), 120.6), Admission::Rejected);
+        let done = c.complete(121.0);
+        assert_eq!(done.id, 1);
+        assert_eq!(c.state(), PowerState::Off);
+    }
+
+    #[test]
+    fn draining_recovers_to_on() {
+        let mut c = computer();
+        c.power_on(0.0);
+        c.finish_boot(120.0);
+        c.offer(Request::new(1, 120.0, 1.0), 120.0);
+        c.power_off(120.1);
+        assert_eq!(c.state(), PowerState::Draining);
+        assert_eq!(c.power_on(120.2), None);
+        assert_eq!(c.state(), PowerState::On);
+    }
+
+    #[test]
+    fn cancel_boot() {
+        let mut c = computer();
+        c.power_on(0.0);
+        c.power_off(10.0);
+        assert_eq!(c.state(), PowerState::Off);
+        assert_eq!(c.switch_ons(), 1);
+        assert_eq!(c.switch_offs(), 1);
+    }
+
+    #[test]
+    fn speed_scales_demand() {
+        let mut fast = Computer::new(vec![1.0e9], 2.0, PowerModel::paper_default(), 0.0);
+        fast.power_on(0.0);
+        fast.finish_boot(0.0);
+        fast.offer(Request::new(1, 0.0, 1.0), 0.0);
+        assert_eq!(fast.completion_time(), Some(0.5), "2x speed halves service");
+    }
+
+    #[test]
+    fn frequency_change_rescales_service() {
+        let mut c = computer();
+        c.power_on(0.0);
+        c.finish_boot(0.0);
+        c.offer(Request::new(1, 0.0, 1.0), 0.0);
+        assert_eq!(c.completion_time(), Some(1.0));
+        let new_t = c.set_frequency_index(0, 0.5); // φ = 0.5
+        assert_eq!(new_t, Some(1.5), "0.5 remaining at half speed");
+        assert_eq!(c.phi(), 0.5);
+    }
+
+    #[test]
+    fn energy_accounting_across_states() {
+        let mut c = Computer::new(vec![1.0e9], 1.0, PowerModel::new(0.75, 8.0), 10.0);
+        assert_eq!(c.energy_at(100.0), 0.0, "off draws nothing");
+        c.power_on(100.0);
+        // 10 s of booting at 8.0 -> 80.
+        c.finish_boot(110.0);
+        assert!((c.energy_at(110.0) - 80.0).abs() < 1e-9);
+        // 5 s idle-on at base 0.75 -> +3.75.
+        c.offer(Request::new(1, 115.0, 2.0), 115.0);
+        assert!((c.energy_at(115.0) - 83.75).abs() < 1e-9);
+        // 2 s busy at 0.75 + 1.0 = 1.75 -> +3.5.
+        c.complete(117.0);
+        assert!((c.energy_at(117.0) - 87.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_capture_response_times() {
+        let mut c = computer();
+        c.power_on(0.0);
+        c.finish_boot(0.0);
+        c.offer(Request::new(1, 0.0, 0.5), 0.0);
+        c.offer(Request::new(2, 0.0, 0.5), 0.0);
+        c.complete(0.5);
+        c.complete(1.0);
+        let w = c.drain_stats();
+        assert_eq!(w.arrivals, 2);
+        assert_eq!(w.completions, 2);
+        assert!((w.response_sum - 1.5).abs() < 1e-12);
+        assert_eq!(w.mean_demand(), Some(0.5));
+        assert_eq!(c.stats().completions, 0, "drained");
+        assert_eq!(c.completed(), 2, "lifetime total survives drain");
+    }
+
+    #[test]
+    fn infinite_boot_delay_never_ready() {
+        let mut c = Computer::new(
+            vec![1.0e9],
+            1.0,
+            PowerModel::paper_default(),
+            f64::INFINITY,
+        );
+        let ready = c.power_on(0.0).unwrap();
+        assert!(ready.is_infinite(), "failed machine never boots");
+    }
+}

@@ -1,0 +1,66 @@
+//! Discrete-event simulator for DVFS-capable server clusters.
+//!
+//! This crate is the *plant* of the reproduction: the paper evaluates its
+//! hierarchical controller against a simulated computer cluster (Fig. 1(a))
+//! where a global buffer dispatches requests to computers, each processing
+//! them in first-come first-served order at a processor frequency chosen
+//! from a finite set. We implement that cluster as an event-driven
+//! simulation with:
+//!
+//! * [`Server`]: a FCFS single-server queue whose service rate scales with
+//!   the frequency factor `φ = u/u_max` (a request with demand `c` seconds
+//!   at full speed takes `c/φ` at frequency `u`);
+//! * [`Computer`]: a server plus a power-state machine
+//!   (`Off → Booting → On → Draining → Off`) with a configurable boot
+//!   **dead time** (the paper's 2-minute switch-on delay) and an energy
+//!   meter integrating `ψ = a + φ²` while operating;
+//! * [`WeightedRouter`]: deterministic deficit-round-robin dispatching that
+//!   realizes the fractions `γ` decided by the controllers;
+//! * [`ClusterSim`]: computers partitioned into modules behind a two-level
+//!   dispatcher hierarchy, a single event queue, and per-window metrics
+//!   that the controllers sample every 30 s.
+//!
+//! The simulator is fully deterministic: event ties break on sequence
+//! numbers and routing is deficit-based rather than randomized.
+//!
+//! # Example
+//!
+//! ```
+//! use llc_sim::{ClusterSim, ClusterConfig, ComputerConfig, PowerModel};
+//!
+//! # fn main() -> Result<(), llc_sim::SimError> {
+//! let config = ClusterConfig {
+//!     modules: vec![vec![
+//!         // One computer, instant boot for the example's sake.
+//!         ComputerConfig::new(vec![0.5e9, 1.0e9], PowerModel::new(0.75, 8.0), 0.0),
+//!     ]],
+//! };
+//! let mut sim = ClusterSim::new(config);
+//! sim.power_on(0);
+//! sim.set_module_weights(&[1.0])?;
+//! sim.set_computer_weights(0, &[1.0])?;
+//! sim.schedule_arrival(0.5, 0.015)?; // a 15 ms request at t = 0.5 s
+//! sim.run_until(10.0)?;
+//! assert_eq!(sim.computer(0).completed(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod computer;
+mod dispatch;
+mod metrics;
+mod power;
+mod request;
+mod server;
+
+pub use cluster::{ClusterConfig, ClusterSim, ComputerConfig, SimError};
+pub use computer::{Computer, PowerState};
+pub use dispatch::WeightedRouter;
+pub use metrics::{EnergyMeter, WindowStats};
+pub use power::PowerModel;
+pub use request::Request;
+pub use server::Server;

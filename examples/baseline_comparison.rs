@@ -1,0 +1,63 @@
+//! Compare the hierarchical LLC controller against the reactive
+//! threshold heuristic and an always-on/max-frequency cluster on the same
+//! workload — the paper's core argument for lookahead control.
+//!
+//! Run with `cargo run --release -p llc-examples --bin baseline_comparison`.
+
+use llc_cluster::{
+    single_module, AlwaysMaxPolicy, ClusterPolicy, Experiment, HierarchicalPolicy,
+    ThresholdConfig, ThresholdPolicy,
+};
+use llc_workload::{synthetic_paper_workload, VirtualStore};
+
+fn main() {
+    let scenario = single_module(4).with_coarse_learning();
+    let trace = synthetic_paper_workload(99).slice(0, 400);
+    let store = VirtualStore::paper_default(99);
+
+    let layout: Vec<Vec<(f64, Vec<f64>)>> = scenario
+        .member_specs()
+        .iter()
+        .map(|module| module.iter().map(|m| (m.speed, m.phis.clone())).collect())
+        .collect();
+    let layout_sizes: Vec<Vec<(f64, usize)>> = layout
+        .iter()
+        .map(|module| module.iter().map(|(s, p)| (*s, p.len())).collect())
+        .collect();
+
+    let mut policies: Vec<Box<dyn ClusterPolicy>> = vec![
+        Box::new(HierarchicalPolicy::build(&scenario)),
+        Box::new(ThresholdPolicy::new(ThresholdConfig::default(), layout)),
+        Box::new(AlwaysMaxPolicy::new(layout_sizes)),
+    ];
+
+    println!(
+        "{:<22} | {:>13} | {:>11} | {:>12} | {:>11}",
+        "policy", "mean resp (s)", "violations", "energy", "switch-ons"
+    );
+    println!("{}", "-".repeat(80));
+    let mut energies = Vec::new();
+    for policy in policies.iter_mut() {
+        let log = Experiment::paper_default(99)
+            .run(scenario.to_sim_config(), policy.as_mut(), &trace, &store)
+            .expect("well-formed scenario");
+        let s = log.summary();
+        println!(
+            "{:<22} | {:>13.2} | {:>10.1}% | {:>12.0} | {:>11}",
+            s.policy,
+            s.mean_response,
+            s.violation_fraction * 100.0,
+            s.total_energy,
+            s.total_switch_ons
+        );
+        energies.push((s.policy.clone(), s.total_energy));
+    }
+
+    let llc = energies[0].1;
+    let always = energies[2].1;
+    println!(
+        "\nLLC consumed {:.0}% of the always-max energy while holding the \
+         response-time goal —\nthe paper's core trade-off.",
+        100.0 * llc / always
+    );
+}

@@ -1,0 +1,1 @@
+//! Anchor library for the integration-test package; tests live in `tests/`.

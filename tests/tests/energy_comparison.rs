@@ -1,0 +1,79 @@
+//! The headline claim, as a test: on the same workload the hierarchical
+//! LLC controller consumes substantially less energy than an
+//! always-on/max-frequency cluster while keeping the mean response near
+//! the target, and no requests are lost.
+
+use llc_cluster::{
+    single_module, AlwaysMaxPolicy, ClusterPolicy, Experiment, ExperimentSummary,
+    HierarchicalPolicy, ThresholdConfig, ThresholdPolicy,
+};
+use llc_workload::{synthetic_paper_workload, Trace, VirtualStore};
+
+fn run(policy: &mut dyn ClusterPolicy, trace: &Trace, seed: u64) -> ExperimentSummary {
+    let scenario = single_module(4).with_coarse_learning();
+    let store = VirtualStore::paper_default(seed);
+    Experiment::paper_default(seed)
+        .run(scenario.to_sim_config(), policy, trace, &store)
+        .unwrap()
+        .summary()
+}
+
+#[test]
+fn llc_beats_always_max_on_energy_while_holding_qos() {
+    let seed = 77;
+    let scenario = single_module(4).with_coarse_learning();
+    // A light-to-moderate stretch of the diurnal day where machines can
+    // actually be switched off.
+    let trace = synthetic_paper_workload(seed).slice(0, 120);
+
+    let mut llc = HierarchicalPolicy::build(&scenario);
+    let llc_summary = run(&mut llc, &trace, seed);
+
+    let layout_sizes: Vec<Vec<(f64, usize)>> = scenario
+        .member_specs()
+        .iter()
+        .map(|module| module.iter().map(|m| (m.speed, m.phis.len())).collect())
+        .collect();
+    let mut always = AlwaysMaxPolicy::new(layout_sizes);
+    let always_summary = run(&mut always, &trace, seed);
+
+    assert_eq!(llc_summary.total_dropped, 0, "LLC must not drop requests");
+    assert!(
+        llc_summary.mean_response < 4.0,
+        "LLC mean response {:.2} must hold r* = 4 s",
+        llc_summary.mean_response
+    );
+    assert!(
+        llc_summary.total_energy < 0.75 * always_summary.total_energy,
+        "LLC energy {:.0} should be well below always-max {:.0}",
+        llc_summary.total_energy,
+        always_summary.total_energy
+    );
+}
+
+#[test]
+fn llc_energy_does_not_exceed_threshold_heuristic() {
+    let seed = 78;
+    let scenario = single_module(4).with_coarse_learning();
+    let trace = synthetic_paper_workload(seed).slice(0, 120);
+
+    let mut llc = HierarchicalPolicy::build(&scenario);
+    let llc_summary = run(&mut llc, &trace, seed);
+
+    let layout: Vec<Vec<(f64, Vec<f64>)>> = scenario
+        .member_specs()
+        .iter()
+        .map(|module| module.iter().map(|m| (m.speed, m.phis.clone())).collect())
+        .collect();
+    let mut threshold = ThresholdPolicy::new(ThresholdConfig::default(), layout);
+    let threshold_summary = run(&mut threshold, &trace, seed);
+
+    // The proactive controller should do at least as well as the reactive
+    // heuristic on energy (modest slack for run-to-run texture).
+    assert!(
+        llc_summary.total_energy <= threshold_summary.total_energy * 1.1,
+        "LLC energy {:.0} should not exceed threshold heuristic {:.0} by >10%",
+        llc_summary.total_energy,
+        threshold_summary.total_energy
+    );
+}

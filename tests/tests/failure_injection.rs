@@ -1,0 +1,90 @@
+//! Failure injection: a machine that never finishes booting (infinite
+//! dead time) must not sink requests — the boot-aware routing keeps load
+//! on the serving machines and the module soldiers on.
+
+use llc_cluster::{single_module, Experiment, HierarchicalPolicy};
+use llc_sim::PowerState;
+use llc_workload::{Trace, VirtualStore};
+
+#[test]
+fn machine_that_never_boots_does_not_sink_requests() {
+    let mut scenario = single_module(4).with_coarse_learning();
+    // Machine 1 refuses to boot, forever.
+    scenario.modules[0][1].boot_delay = f64::INFINITY;
+    let mut policy = HierarchicalPolicy::build(&scenario);
+
+    // Moderate steady load that wants ~2-3 machines.
+    let trace = Trace::new(30.0, vec![70.0 * 30.0; 60]).unwrap();
+    let store = VirtualStore::paper_default(5);
+    // Cold start: every switch-on decision goes through the (broken) boot
+    // path.
+    let experiment = Experiment {
+        prewarmed: false,
+        ..Experiment::paper_default(5)
+    };
+    let log = experiment
+        .run(scenario.to_sim_config(), &mut policy, &trace, &store)
+        .unwrap();
+    let s = log.summary();
+
+    assert_eq!(s.total_dropped, 0, "no requests may be lost to the dead machine");
+    // The cluster still completes the work with the healthy machines
+    // (cold-start transient aside).
+    assert!(
+        s.total_completions as f64 > 0.9 * s.total_arrivals as f64,
+        "completed {} of {}",
+        s.total_completions,
+        s.total_arrivals
+    );
+    // Steady state reached: late-window responses are near target.
+    let late: Vec<f64> = log
+        .ticks
+        .iter()
+        .skip(40)
+        .filter_map(|t| t.mean_response)
+        .collect();
+    let late_mean = late.iter().sum::<f64>() / late.len().max(1) as f64;
+    assert!(
+        late_mean < 8.0,
+        "late mean response {late_mean:.2} should stabilize despite the dead machine"
+    );
+}
+
+#[test]
+fn dead_machine_keeps_zero_queue() {
+    let mut scenario = single_module(2).with_coarse_learning();
+    scenario.modules[0][1].boot_delay = f64::INFINITY;
+    let mut policy = HierarchicalPolicy::build(&scenario);
+    let trace = Trace::new(30.0, vec![30.0 * 30.0; 30]).unwrap();
+    let store = VirtualStore::paper_default(6);
+    let log = Experiment::paper_default(6)
+        .run(scenario.to_sim_config(), &mut policy, &trace, &store)
+        .unwrap();
+    // The never-booting machine must never hold queued requests once the
+    // boot-aware routing is in force (prewarmed start puts it On, but any
+    // power cycling strands it in Booting forever).
+    for t in &log.ticks {
+        if !t.active_flags[1] {
+            assert_eq!(t.queues[1], 0, "tick {}: dead machine hoards requests", t.tick);
+        }
+    }
+    assert_eq!(log.summary().total_dropped, 0);
+}
+
+#[test]
+fn sim_reports_infinite_boot_as_booting_forever() {
+    use llc_sim::{ClusterConfig, ClusterSim, ComputerConfig, PowerModel};
+    let mut sim = ClusterSim::new(ClusterConfig {
+        modules: vec![vec![ComputerConfig::new(
+            vec![1.0e9],
+            PowerModel::paper_default(),
+            f64::INFINITY,
+        )]],
+    });
+    sim.power_on(0);
+    sim.run_until(1e6).unwrap();
+    assert!(matches!(
+        sim.computer(0).state(),
+        PowerState::Booting { .. }
+    ));
+}

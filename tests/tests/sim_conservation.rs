@@ -1,0 +1,87 @@
+//! Property test: the simulator never loses or invents requests, no
+//! matter what (valid) action sequence a controller throws at it —
+//! arrivals = completions + still-queued + explicitly dropped, always.
+
+use llc_sim::{ClusterConfig, ClusterSim, ComputerConfig, PowerModel};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    PowerOn(usize),
+    PowerOff(usize),
+    SetFrequency(usize, usize),
+    SetWeights(Vec<f64>),
+    Arrivals(u8),
+}
+
+fn op_strategy(n: usize, freqs: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n).prop_map(Op::PowerOn),
+        (0..n).prop_map(Op::PowerOff),
+        ((0..n), (0..freqs)).prop_map(|(c, f)| Op::SetFrequency(c, f)),
+        proptest::collection::vec(0.0..1.0f64, n).prop_map(Op::SetWeights),
+        (0u8..40).prop_map(Op::Arrivals),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_are_conserved_under_random_control(
+        ops in proptest::collection::vec(op_strategy(3, 2), 1..60)
+    ) {
+        let cfg = ClusterConfig {
+            modules: vec![(0..3)
+                .map(|_| {
+                    ComputerConfig::new(
+                        vec![1.0e9, 2.0e9],
+                        PowerModel::paper_default(),
+                        45.0,
+                    )
+                })
+                .collect()],
+        };
+        let mut sim = ClusterSim::new(cfg);
+        sim.set_module_weights(&[1.0]).unwrap();
+        sim.set_computer_weights(0, &[1.0, 1.0, 1.0]).unwrap();
+        sim.power_on(0);
+
+        let mut injected: u64 = 0;
+        let mut now = 0.0;
+        for op in &ops {
+            match op {
+                Op::PowerOn(i) => sim.power_on(*i),
+                Op::PowerOff(i) => sim.power_off(*i),
+                Op::SetFrequency(i, f) => sim.set_frequency(*i, *f),
+                Op::SetWeights(w) => {
+                    sim.set_computer_weights(0, w).unwrap();
+                }
+                Op::Arrivals(k) => {
+                    for j in 0..*k {
+                        sim.schedule_arrival(now + f64::from(j) * 0.1, 0.01).unwrap();
+                    }
+                    injected += u64::from(*k);
+                }
+            }
+            now += 5.0;
+            sim.run_until(now).unwrap();
+        }
+        // Long drain so everything that can complete does.
+        sim.power_on(0);
+        sim.run_until(now + 10_000.0).unwrap();
+
+        let stats = sim.drain_computer_stats();
+        let completed: u64 = stats.iter().map(|w| w.completions).sum();
+        let queued: u64 = (0..3).map(|i| sim.computer(i).queue_length() as u64).sum();
+        prop_assert_eq!(
+            injected,
+            completed + queued + sim.dropped(),
+            "conservation violated: injected {} vs completed {} + queued {} + dropped {}",
+            injected, completed, queued, sim.dropped()
+        );
+        // Energy must be finite and non-negative whatever happened.
+        prop_assert!(sim.total_energy().is_finite());
+        prop_assert!(sim.total_energy() >= 0.0);
+    }
+}
