@@ -1,4 +1,4 @@
-use crate::{LookupTable, Quantizer, RegressionTree, TreeConfig, TreeError};
+use crate::{DenseGrid, LookupTable, Quantizer, RegressionTree, TreeConfig, TreeError};
 
 /// A rectangular grid sampler over a continuous input domain: each
 /// dimension is `(lo, hi, steps)` and the full cartesian product is
@@ -34,15 +34,66 @@ impl GridSampler {
         self.dims.iter().map(|&(_, _, s)| s).product()
     }
 
+    /// The `(lo, hi, steps)` description of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn dim(&self, d: usize) -> (f64, f64, usize) {
+        self.dims[d]
+    }
+
     /// Value of dimension `d` at step `i` (inclusive endpoints; a single
     /// step yields the midpoint).
-    fn value(&self, d: usize, i: usize) -> f64 {
+    pub fn value(&self, d: usize, i: usize) -> f64 {
         let (lo, hi, steps) = self.dims[d];
         if steps == 1 {
             0.5 * (lo + hi)
         } else {
             lo + (hi - lo) * i as f64 / (steps - 1) as f64
         }
+    }
+
+    /// The grid pitch of dimension `d` — and therefore the *only* correct
+    /// quantization cell width for a table trained over this sampler.
+    ///
+    /// A cell width differing from the point spacing leaves hole cells
+    /// between trained points (queries then fall through to distant
+    /// nearest-neighbors); deriving the width here, next to the sampler,
+    /// keeps the two from ever desynchronizing. Degenerate dimensions
+    /// (one step, or zero width) get a unit-width cell around their single
+    /// value.
+    pub fn spacing(&self, d: usize) -> f64 {
+        let (lo, hi, steps) = self.dims[d];
+        if steps <= 1 || hi <= lo {
+            (hi - lo).max(1.0)
+        } else {
+            (hi - lo) / (steps - 1) as f64
+        }
+    }
+
+    /// Per-dimension quantization cell widths matching the grid pitch —
+    /// the `cell_steps` argument [`train_table`] expects.
+    pub fn cell_steps(&self) -> Vec<f64> {
+        (0..self.dims.len()).map(|d| self.spacing(d)).collect()
+    }
+
+    /// The grid point at flat index `idx` (dimension 0 varies fastest,
+    /// matching the enumeration order of [`GridSampler::points`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.count()`.
+    pub fn point_at(&self, mut idx: usize) -> Vec<f64> {
+        assert!(idx < self.count(), "grid index out of range");
+        (0..self.dims.len())
+            .map(|d| {
+                let steps = self.dims[d].2;
+                let i = idx % steps;
+                idx /= steps;
+                self.value(d, i)
+            })
+            .collect()
     }
 
     /// Enumerate all grid points.
@@ -98,10 +149,19 @@ pub fn train_table<V: Clone>(
     table
 }
 
-/// Train a [`RegressionTree`] by evaluating `f` at every grid point: the
-/// paper's L2 pipeline ("a module is first simulated and the corresponding
-/// cost values stored in a large lookup table. This table is then used to
-/// train a regression tree").
+/// Train a [`DenseGrid`] by evaluating `f` at every grid point, in
+/// parallel. The cell widths are derived from the sampler itself
+/// ([`GridSampler::cell_steps`]), so grid pitch and quantization cannot
+/// desynchronize. This is the fast path for the L1 abstraction map `g`;
+/// [`train_table`] remains for sparse or ragged domains.
+pub fn train_dense<V: Send>(sampler: &GridSampler, f: impl Fn(&[f64]) -> V + Sync) -> DenseGrid<V> {
+    DenseGrid::from_fn(sampler, f)
+}
+
+/// Train a [`RegressionTree`] by evaluating `f` at every grid point (in
+/// parallel): the paper's L2 pipeline ("a module is first simulated and
+/// the corresponding cost values stored in a large lookup table. This
+/// table is then used to train a regression tree").
 ///
 /// # Errors
 ///
@@ -110,10 +170,10 @@ pub fn train_table<V: Clone>(
 pub fn train_tree(
     sampler: &GridSampler,
     config: TreeConfig,
-    mut f: impl FnMut(&[f64]) -> f64,
+    f: impl Fn(&[f64]) -> f64 + Sync,
 ) -> Result<RegressionTree, TreeError> {
     let xs = sampler.points();
-    let ys: Vec<f64> = xs.iter().map(|p| f(p)).collect();
+    let ys: Vec<f64> = llc_par::par_map(&xs, |p| f(p));
     RegressionTree::fit(&xs, &ys, config)
 }
 

@@ -6,8 +6,11 @@
 //!
 //! * the L1 controller consults an **abstraction map `g`** — "obtained
 //!   off-line as a hash table" — that predicts the cost and next state a
-//!   L0-controlled computer achieves under given load ([`LookupTable`]
-//!   keyed by [`Quantizer`] cells);
+//!   L0-controlled computer achieves under given load. Two substrates
+//!   implement it behind the [`CostMap`] trait: [`DenseGrid`] (flat
+//!   storage, O(1) clamp + stride probes — the default for rectangular
+//!   [`GridSampler`] domains) and [`LookupTable`] (hash table keyed by
+//!   [`Quantizer`] cells, for sparse or ragged domains);
 //! * the L2 controller consults a **compact regression tree** trained from
 //!   module simulations ([`RegressionTree`], classic CART with
 //!   variance-reduction splits);
@@ -36,13 +39,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dense;
 mod learn;
 mod quantize;
 mod regtree;
 mod simplex;
 mod table;
 
-pub use learn::{train_table, train_tree, GridSampler};
+pub use dense::{CostMap, DenseGrid};
+pub use learn::{train_dense, train_table, train_tree, GridSampler};
 pub use quantize::Quantizer;
 pub use regtree::{RegressionTree, TreeConfig, TreeError};
 pub use simplex::SimplexGrid;

@@ -146,7 +146,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -158,7 +162,10 @@ impl RegressionTree {
     ///
     /// Panics if the sets are empty or mismatched.
     pub fn mse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
-        assert!(!xs.is_empty() && xs.len() == ys.len(), "invalid evaluation set");
+        assert!(
+            !xs.is_empty() && xs.len() == ys.len(),
+            "invalid evaluation set"
+        );
         xs.iter()
             .zip(ys)
             .map(|(x, y)| (self.predict(x) - y).powi(2))
@@ -178,14 +185,12 @@ impl RegressionTree {
         let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len() as f64;
         let sse: f64 = indices.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
 
-        let make_leaf = depth >= config.max_depth
-            || indices.len() < 2 * config.min_leaf
-            || sse < 1e-12;
+        let make_leaf =
+            depth >= config.max_depth || indices.len() < 2 * config.min_leaf || sse < 1e-12;
         if !make_leaf {
             if let Some((feature, threshold)) = self.best_split(xs, ys, &indices, config) {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .partition(|&&i| xs[i][feature] <= threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| xs[i][feature] <= threshold);
                 // Reserve our slot, then grow the children.
                 let me = self.nodes.len();
                 self.nodes.push(Node::Leaf { prediction: mean });
@@ -222,6 +227,7 @@ impl RegressionTree {
         };
 
         let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
+        #[allow(clippy::needless_range_loop)] // `f` indexes the inner feature axis, not `xs`
         for f in 0..self.num_features {
             let mut sorted: Vec<usize> = indices.to_vec();
             sorted.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
@@ -291,7 +297,10 @@ mod tests {
     #[test]
     fn learns_axis_aligned_step() {
         let xs = grid_2d(10);
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 0.5 { 10.0 } else { 0.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] > 0.5 { 10.0 } else { 0.0 })
+            .collect();
         let t = RegressionTree::fit(&xs, &ys, TreeConfig::default()).unwrap();
         assert!(t.predict(&[0.9, 0.3]) > 9.0);
         assert!(t.predict(&[0.1, 0.8]) < 1.0);
@@ -346,8 +355,12 @@ mod tests {
             TreeError::LengthMismatch
         );
         assert_eq!(
-            RegressionTree::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], TreeConfig::default())
-                .unwrap_err(),
+            RegressionTree::fit(
+                &[vec![1.0], vec![1.0, 2.0]],
+                &[1.0, 2.0],
+                TreeConfig::default()
+            )
+            .unwrap_err(),
             TreeError::RaggedFeatures
         );
     }

@@ -162,7 +162,11 @@ mod tests {
     fn count_matches_enumeration() {
         for (dims, levels) in [(2, 10), (3, 10), (4, 10), (4, 20), (2, 1)] {
             let g = SimplexGrid::new(dims, levels);
-            assert_eq!(g.enumerate().len(), g.count(), "dims={dims} levels={levels}");
+            assert_eq!(
+                g.enumerate().len(),
+                g.count(),
+                "dims={dims} levels={levels}"
+            );
         }
     }
 

@@ -1,14 +1,18 @@
-//! Criterion benches for the control overhead tables (§4.3, §5.2): the
+//! Benches for the control overhead tables (§4.3, §5.2): the
 //! per-decision cost of each hierarchy level as a function of its sizing
 //! knobs. These are the machine-checkable counterparts of the
 //! `overhead_module` / `overhead_cluster` binaries.
+//!
+//! Hand-timed (`harness = false`): the build environment has no registry
+//! access for criterion. Run with `cargo bench --bench controller_overhead`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llc_bench::microbench::bench;
 use llc_cluster::{
     AbstractionMap, L0Config, L0Controller, L1Config, L1Controller, L2Config, L2Controller,
     LearnSpec, MemberSpec, ModuleCostModel, ModuleLearnSpec, ModuleState,
 };
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn member_specs(m: usize) -> Vec<MemberSpec> {
     use llc_cluster::{ComputerProfile, FrequencyProfile};
@@ -25,28 +29,26 @@ fn member_specs(m: usize) -> Vec<MemberSpec> {
         .collect()
 }
 
-fn maps_for(specs: &[MemberSpec]) -> Vec<AbstractionMap> {
+fn maps_for(specs: &[MemberSpec]) -> Vec<Arc<AbstractionMap>> {
     let l0 = L0Config::paper_default();
     specs
         .iter()
         .map(|m| {
-            AbstractionMap::learn(
+            Arc::new(AbstractionMap::learn(
                 &l0,
                 &m.phis,
                 (m.c_prior * 0.6, m.c_prior * 1.6),
                 2.0 / (m.c_prior * 0.6),
                 200.0,
                 LearnSpec::coarse(),
-            )
+            ))
         })
         .collect()
 }
 
 /// L0 exhaustive lookahead vs prediction horizon (paper: N = 3, states
 /// explored grow as Σ|U|^q).
-fn bench_l0(c: &mut Criterion) {
-    let mut group = c.benchmark_group("l0_decide");
-    group.sample_size(30);
+fn bench_l0() {
     for horizon in [1usize, 2, 3, 4] {
         let mut config = L0Config::paper_default();
         config.horizon = horizon;
@@ -56,18 +58,15 @@ fn bench_l0(c: &mut Criterion) {
         for _ in 0..8 {
             l0.observe(40 * 30, Some(0.0175));
         }
-        group.bench_with_input(BenchmarkId::new("horizon", horizon), &horizon, |b, _| {
-            b.iter(|| black_box(l0.decide(black_box(12)).unwrap()))
+        bench(&format!("l0_decide/horizon={horizon}"), 2_000, || {
+            black_box(l0.decide(black_box(12)).unwrap());
         });
     }
-    group.finish();
 }
 
 /// L1 bounded search vs module size (paper: m = 4, 6, 10 with γ quantum
 /// 0.05 / 0.1 / 0.1).
-fn bench_l1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("l1_decide");
-    group.sample_size(20);
+fn bench_l1() {
     for m in [4usize, 6, 10] {
         let specs = member_specs(m);
         let maps = maps_for(&specs);
@@ -75,34 +74,31 @@ fn bench_l1(c: &mut Criterion) {
         if m > 4 {
             config.gamma_quantum = 0.1;
         }
-        let mut l1 = L1Controller::new(config, specs, maps);
+        let mut l1 = L1Controller::new_shared(config, specs, maps);
         for _ in 0..6 {
             l1.observe(60 * 120, &vec![Some(0.0175); m]);
         }
         let queues = vec![3usize; m];
         let active = vec![true; m];
-        group.bench_with_input(BenchmarkId::new("module_size", m), &m, |b, _| {
-            b.iter(|| black_box(l1.decide(black_box(&queues), black_box(&active))))
+        bench(&format!("l1_decide/module_size={m}"), 200, || {
+            black_box(l1.decide(black_box(&queues), black_box(&active)));
         });
     }
-    group.finish();
 }
 
 /// L2 split search vs module count (paper: 4 and 5 modules at quantum
 /// 0.1 — 286 vs 1001 simplex points when unbounded).
-fn bench_l2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("l2_decide");
-    group.sample_size(20);
+fn bench_l2() {
+    let specs = member_specs(2);
+    let maps = maps_for(&specs);
+    let model = ModuleCostModel::learn(
+        &L1Config::paper_default(),
+        &specs,
+        &maps,
+        200.0,
+        ModuleLearnSpec::coarse(),
+    );
     for p in [4usize, 5] {
-        let specs = member_specs(2);
-        let maps = maps_for(&specs);
-        let model = ModuleCostModel::learn(
-            &L1Config::paper_default(),
-            &specs,
-            &maps,
-            200.0,
-            ModuleLearnSpec::coarse(),
-        );
         let mut l2 = L2Controller::new(
             L2Config::paper_default(),
             (0..p).map(|_| model.clone()).collect(),
@@ -118,12 +114,14 @@ fn bench_l2(c: &mut Criterion) {
             };
             p
         ];
-        group.bench_with_input(BenchmarkId::new("modules", p), &p, |b, _| {
-            b.iter(|| black_box(l2.decide(black_box(&states))))
+        bench(&format!("l2_decide/modules={p}"), 500, || {
+            black_box(l2.decide(black_box(&states)));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_l0, bench_l1, bench_l2);
-criterion_main!(benches);
+fn main() {
+    bench_l0();
+    bench_l1();
+    bench_l2();
+}

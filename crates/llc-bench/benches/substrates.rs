@@ -1,120 +1,131 @@
-//! Criterion benches for the substrates: event-simulator throughput,
-//! forecasting filters and function approximation. These establish that
-//! the run-time overhead claims rest on cheap primitives.
+//! Benches for the substrates: event-simulator throughput, forecasting
+//! filters, function approximation and the two lookup substrates. These
+//! establish that the run-time overhead claims rest on cheap primitives.
+//!
+//! Hand-timed (`harness = false`): the build environment has no registry
+//! access for criterion. Run with `cargo bench --bench substrates`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use llc_approx::{GridSampler, RegressionTree, SimplexGrid, TreeConfig};
+use llc_approx::{train_dense, train_table, GridSampler, RegressionTree, SimplexGrid, TreeConfig};
+use llc_bench::microbench::bench;
 use llc_forecast::{Ewma, Forecaster, KalmanFilter, LocalLinearTrend, Matrix};
 use llc_sim::{ClusterConfig, ClusterSim, ComputerConfig, PowerModel};
 use std::hint::black_box;
 
-/// Event-engine throughput: requests fully served per second of wall
-/// time on a four-computer module.
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(20);
-    for &n in &[1_000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::new("serve_requests", n), &n, |b, &n| {
-            b.iter(|| {
-                let config = ClusterConfig {
-                    modules: vec![(0..4)
-                        .map(|_| {
-                            ComputerConfig::new(
-                                vec![1.0e9, 2.0e9],
-                                PowerModel::paper_default(),
-                                0.0,
-                            )
-                        })
-                        .collect()],
-                };
-                let mut sim = ClusterSim::new(config);
-                for i in 0..4 {
-                    sim.power_on(i);
-                }
-                sim.set_module_weights(&[1.0]).unwrap();
-                sim.set_computer_weights(0, &[1.0; 4]).unwrap();
-                for k in 0..n {
-                    sim.schedule_arrival(k as f64 * 1e-3, 0.0005).unwrap();
-                }
-                sim.run_until(n as f64 * 1e-3 + 10.0).unwrap();
-                black_box(sim.total_energy())
-            })
+/// Event-engine throughput: requests fully served on a four-computer
+/// module.
+fn bench_simulator() {
+    for n in [1_000usize, 10_000] {
+        bench(&format!("sim: serve_requests/{n}"), 20, || {
+            let config = ClusterConfig {
+                modules: vec![(0..4)
+                    .map(|_| {
+                        ComputerConfig::new(vec![1.0e9, 2.0e9], PowerModel::paper_default(), 0.0)
+                    })
+                    .collect()],
+            };
+            let mut sim = ClusterSim::new(config);
+            for i in 0..4 {
+                sim.power_on(i);
+            }
+            sim.set_module_weights(&[1.0]).unwrap();
+            sim.set_computer_weights(0, &[1.0; 4]).unwrap();
+            for k in 0..n {
+                sim.schedule_arrival(k as f64 * 1e-3, 0.0005).unwrap();
+            }
+            sim.run_until(n as f64 * 1e-3 + 10.0).unwrap();
+            black_box(sim.total_energy());
         });
     }
-    group.finish();
 }
 
 /// Kalman filter predict+update and multi-step forecasting.
-fn bench_forecasting(c: &mut Criterion) {
-    let mut group = c.benchmark_group("forecasting");
-    group.sample_size(50);
-
-    group.bench_function("kalman_step_2state", |b| {
-        let mut kf = KalmanFilter::new(
-            Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
-            Matrix::from_rows(&[&[1.0, 0.0]]),
-            Matrix::diagonal(&[10.0, 0.1]),
-            Matrix::diagonal(&[100.0]),
-            Matrix::column(&[0.0, 0.0]),
-            Matrix::diagonal(&[1e6, 1e6]),
-        )
-        .unwrap();
-        let mut z = 0.0;
-        b.iter(|| {
-            z += 1.0;
-            kf.step_scalar(black_box(z)).unwrap();
-            black_box(kf.observation())
-        })
+fn bench_forecasting() {
+    let mut kf = KalmanFilter::new(
+        Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
+        Matrix::from_rows(&[&[1.0, 0.0]]),
+        Matrix::diagonal(&[10.0, 0.1]),
+        Matrix::diagonal(&[100.0]),
+        Matrix::column(&[0.0, 0.0]),
+        Matrix::diagonal(&[1e6, 1e6]),
+    )
+    .unwrap();
+    let mut z = 0.0;
+    bench("forecast: kalman_step_2state", 100_000, || {
+        z += 1.0;
+        kf.step_scalar(black_box(z)).unwrap();
+        black_box(kf.observation());
     });
 
-    group.bench_function("trend_observe_predict3", |b| {
-        let mut f = LocalLinearTrend::with_default_noise();
-        let mut z = 100.0;
-        b.iter(|| {
-            z += 0.5;
-            f.observe(black_box(z));
-            black_box(f.predict(3))
-        })
+    let mut trend = LocalLinearTrend::with_default_noise();
+    let mut y = 100.0;
+    bench("forecast: trend_observe_predict3", 100_000, || {
+        y += 0.5;
+        trend.observe(black_box(y));
+        black_box(trend.predict(3));
     });
 
-    group.bench_function("ewma_observe", |b| {
-        let mut f = Ewma::paper_default();
-        b.iter(|| {
-            f.observe(black_box(0.0175));
-            black_box(f.estimate())
-        })
+    let mut ewma = Ewma::paper_default();
+    bench("forecast: ewma_observe", 1_000_000, || {
+        ewma.observe(black_box(0.0175));
+        black_box(ewma.estimate());
     });
-    group.finish();
 }
 
-/// Function approximation: CART training and prediction, simplex grids.
-fn bench_approximation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approximation");
-    group.sample_size(20);
-
+/// Function approximation: CART training and prediction, simplex grids,
+/// and the dense-vs-hash lookup substrates over the same trained domain.
+fn bench_approximation() {
     let sampler = GridSampler::new(vec![(0.0, 1.0, 20), (0.0, 1.0, 20)]);
     let xs = sampler.points();
     let ys: Vec<f64> = xs.iter().map(|p| p[0] * 3.0 + p[1] * p[1]).collect();
-    group.bench_function("cart_fit_400pts", |b| {
-        b.iter(|| {
-            black_box(
-                RegressionTree::fit(black_box(&xs), black_box(&ys), TreeConfig::default())
-                    .unwrap(),
-            )
-        })
+    bench("approx: cart_fit_400pts", 100, || {
+        black_box(
+            RegressionTree::fit(black_box(&xs), black_box(&ys), TreeConfig::default()).unwrap(),
+        );
     });
 
     let tree = RegressionTree::fit(&xs, &ys, TreeConfig::default()).unwrap();
-    group.bench_function("cart_predict", |b| {
-        b.iter(|| black_box(tree.predict(black_box(&[0.37, 0.61]))))
+    bench("approx: cart_predict", 1_000_000, || {
+        black_box(tree.predict(black_box(&[0.37, 0.61])));
     });
 
-    group.bench_function("simplex_enumerate_4mod_q01", |b| {
+    bench("approx: simplex_enumerate_4mod_q01", 1_000, || {
         let grid = SimplexGrid::with_quantum(4, 0.1);
-        b.iter(|| black_box(grid.enumerate().len()))
+        black_box(grid.enumerate().len());
     });
-    group.finish();
+
+    // The two lookup substrates over an identical trained rectangle.
+    let domain = GridSampler::new(vec![(0.0, 200.0, 24), (0.01, 0.03, 5), (0.0, 200.0, 6)]);
+    let f = |p: &[f64]| p[0] * 0.5 + p[1] * 100.0 + p[2];
+    let hash = train_table(&domain, &domain.cell_steps(), f);
+    let dense = train_dense(&domain, f);
+    let queries: Vec<[f64; 3]> = (0..10_000)
+        .map(|i| {
+            let t = i as f64;
+            [
+                (t * 7.3) % 260.0,          // ~23 % beyond the λ edge
+                0.008 + (t * 0.013) % 0.03, // wanders past both c edges
+                (t * 11.1) % 220.0,         // ~9 % beyond the queue edge
+            ]
+        })
+        .collect();
+    bench("approx: lookup_hash_10k_probes", 200, || {
+        let mut acc = 0.0;
+        for q in &queries {
+            acc += *hash.get(q).unwrap();
+        }
+        black_box(acc);
+    });
+    bench("approx: lookup_dense_10k_probes", 200, || {
+        let mut acc = 0.0;
+        for q in &queries {
+            acc += *dense.get_clamped(q);
+        }
+        black_box(acc);
+    });
 }
 
-criterion_group!(benches, bench_simulator, bench_forecasting, bench_approximation);
-criterion_main!(benches);
+fn main() {
+    bench_simulator();
+    bench_forecasting();
+    bench_approximation();
+}

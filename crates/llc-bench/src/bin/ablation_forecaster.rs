@@ -43,7 +43,10 @@ fn battery(trace: &Trace, horizon: usize) -> Vec<(String, f64, f64)> {
         "seasonal-trend (720)",
         &mut SeasonalTrend::new(720, 0.3).with_floor(0.0),
     );
-    run("arima(2,1) w=240", &mut Arima::new(2, 1, 240).with_floor(0.0));
+    run(
+        "arima(2,1) w=240",
+        &mut Arima::new(2, 1, 240).with_floor(0.0),
+    );
     run("ewma(0.1)", &mut Ewma::paper_default());
     out
 }
@@ -60,7 +63,10 @@ fn main() {
     let mut rows = Vec::new();
     for (wname, trace) in &workloads {
         for horizon in [1usize, 30] {
-            println!("{wname} — horizon {horizon} step(s) ({} min ahead):", horizon * 2);
+            println!(
+                "{wname} — horizon {horizon} step(s) ({} min ahead):",
+                horizon * 2
+            );
             println!("{:<26} | {:>12} | {:>9}", "forecaster", "MAE (req)", "MAPE");
             println!("{}", "-".repeat(54));
             for (name, mae, mape) in battery(trace, horizon) {

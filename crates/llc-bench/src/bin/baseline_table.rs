@@ -10,8 +10,8 @@
 use llc_bench::figures::FIGURE_SEED;
 use llc_bench::report::{quick_mode, write_csv};
 use llc_cluster::{
-    single_module, AlwaysMaxPolicy, ClusterPolicy, Experiment, HierarchicalPolicy,
-    ThresholdConfig, ThresholdPolicy,
+    single_module, AlwaysMaxPolicy, ClusterPolicy, Experiment, HierarchicalPolicy, ThresholdConfig,
+    ThresholdPolicy,
 };
 use llc_workload::{synthetic_paper_workload, Trace, VirtualStore};
 

@@ -1,0 +1,329 @@
+//! Substrate perf trajectory: dense-grid vs hash-table lookups, and the
+//! offline learning pipeline (shared maps + parallel fan-out) vs the
+//! seed's serial clone-per-point baseline. Emits machine-readable
+//! `BENCH_substrate.json` at the workspace root so future PRs can track
+//! the trend. Pass `--quick` for a fast smoke run (coarse grids, no JSON).
+
+use llc_bench::microbench;
+use llc_bench::report::quick_mode;
+use llc_cluster::{
+    AbstractionMap, ComputerProfile, FrequencyProfile, L0Config, L1Config, L1Controller, LearnSpec,
+    MapBackend, MemberSpec, ModuleCostModel, ModuleLearnSpec,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn member_specs(m: usize) -> Vec<MemberSpec> {
+    let profiles = FrequencyProfile::module_set();
+    (0..m)
+        .map(|j| {
+            let cp = ComputerProfile::paper_default(profiles[j % 4]);
+            MemberSpec {
+                phis: cp.phis(),
+                speed: cp.speed,
+                c_prior: 0.0175 / cp.speed,
+            }
+        })
+        .collect()
+}
+
+fn learn_map(spec: &MemberSpec, learn: LearnSpec, backend: MapBackend) -> AbstractionMap {
+    AbstractionMap::learn_with_backend(
+        &L0Config::paper_default(),
+        &spec.phis,
+        (spec.c_prior * 0.6, spec.c_prior * 1.6),
+        2.0 / (spec.c_prior * 0.6),
+        200.0,
+        learn,
+        backend,
+    )
+}
+
+/// Deterministic query mix over (λ, ĉ, q): ~70 % inside the trained grid,
+/// ~30 % outside on at least one axis — the latter answered by the
+/// hash table's clamp-and-reprobe (allocating twice, hashing twice) and
+/// by the dense grid's per-axis clamp (no allocation at all).
+fn query_points(spec: &MemberSpec, n: usize) -> Vec<[f64; 3]> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE7C);
+    let lambda_max = 2.0 / (spec.c_prior * 0.6);
+    (0..n)
+        .map(|_| {
+            let out_of_grid = rng.gen::<f64>() < 0.3;
+            let lam = rng.gen_range(0.0..lambda_max);
+            // ĉ ranges well past the trained (0.6, 1.6)·c_prior band —
+            // EWMA estimates drift there routinely in the online path.
+            let c = if out_of_grid {
+                rng.gen_range(spec.c_prior * 0.1..spec.c_prior * 3.0)
+            } else {
+                rng.gen_range(spec.c_prior * 0.7..spec.c_prior * 1.5)
+            };
+            let q = rng.gen_range(0.0..190.0);
+            [lam, c, q]
+        })
+        .collect()
+}
+
+/// The seed's training-budget reduction (kept in lockstep with
+/// `L1Config::clone_for_training`).
+fn training_config(c: &L1Config) -> L1Config {
+    L1Config {
+        search_rounds: c.search_rounds.min(8),
+        search_evals: c.search_evals.min(600),
+        ..*c
+    }
+}
+
+/// The seed's module-learning inner loop, verbatim economics: a fresh
+/// `L1Controller` per grid point over *deep-cloned* hash-backed maps.
+#[allow(clippy::too_many_arguments)] // mirrors the learning grid's axes
+fn simulate_module_baseline(
+    l1_config: &L1Config,
+    members: &[MemberSpec],
+    maps: &[AbstractionMap],
+    lambda: f64,
+    c_factor: f64,
+    q0: f64,
+    active_init: usize,
+    periods: usize,
+) -> f64 {
+    let mut l1 = L1Controller::new(training_config(l1_config), members.to_vec(), maps.to_vec());
+    let m = members.len();
+    let mut queues: Vec<f64> = vec![q0; m];
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        (members[b].speed / members[b].c_prior).total_cmp(&(members[a].speed / members[a].c_prior))
+    });
+    let mut active = vec![false; m];
+    for &j in order.iter().take(active_init.clamp(1, m)) {
+        active[j] = true;
+    }
+    let demands: Vec<Option<f64>> = members.iter().map(|s| Some(s.c_prior * c_factor)).collect();
+    let mut total = 0.0;
+    for _ in 0..periods {
+        let arrivals = (lambda * l1_config.period).round().max(0.0) as u64;
+        l1.observe(arrivals, &demands);
+        let q_obs: Vec<usize> = queues.iter().map(|&q| q.round() as usize).collect();
+        let d = l1.decide(&q_obs, &active);
+        for j in 0..m {
+            if d.alpha[j] {
+                let entry = maps[j].query(
+                    d.gamma[j] * lambda,
+                    members[j].c_prior * c_factor,
+                    queues[j],
+                );
+                total += entry.cost;
+                queues[j] = entry.final_q;
+            } else {
+                queues[j] = 0.0;
+            }
+            if d.alpha[j] && !active[j] {
+                total += l1_config.switch_on_penalty;
+            }
+        }
+        active = d.alpha;
+    }
+    total / periods as f64
+}
+
+fn main() {
+    let quick = quick_mode();
+    let threads = llc_par::num_threads();
+    let learn_spec = if quick {
+        LearnSpec::coarse()
+    } else {
+        LearnSpec::default()
+    };
+    let module_spec = if quick {
+        ModuleLearnSpec::coarse()
+    } else {
+        ModuleLearnSpec::default()
+    };
+    let members = member_specs(4);
+    let l1_config = L1Config::paper_default();
+    println!("substrate benchmark (threads = {threads}, quick = {quick})");
+
+    // --- Probes: hash table vs dense grid over the same trained map. ---
+    let hash_map = learn_map(&members[0], learn_spec, MapBackend::Hash);
+    let dense_map = learn_map(&members[0], learn_spec, MapBackend::Dense);
+    let queries = query_points(&members[0], if quick { 20_000 } else { 200_000 });
+    let probe_iters = if quick { 5 } else { 10 };
+
+    let hash_ns = microbench::bench(
+        "probe: LookupTable (hash) warm single map",
+        probe_iters,
+        || {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += hash_map.query(q[0], q[1], q[2]).cost;
+            }
+            black_box(acc);
+        },
+    ) / queries.len() as f64;
+    let dense_ns = microbench::bench("probe: DenseGrid warm single map", probe_iters, || {
+        let mut acc = 0.0;
+        for q in &queries {
+            acc += dense_map.query(q[0], q[1], q[2]).cost;
+        }
+        black_box(acc);
+    }) / queries.len() as f64;
+    let probe_speedup = hash_ns / dense_ns;
+    println!(
+        "single-map probe speedup: {probe_speedup:.1}x  ({:.1} -> {:.1} ns/probe)",
+        hash_ns, dense_ns
+    );
+
+    // Cluster-scale probing: the §5.2 pattern — the decision loops of a
+    // 16-computer cluster interleave probes across every member's map.
+    // The hash substrate pays two dependent heap derefs per probe
+    // (bucket, then the boxed `Vec<i64>` key it must compare against)
+    // over megabytes of scattered allocations; the dense grids are small
+    // contiguous slabs.
+    let cluster_members = member_specs(16);
+    let cluster_hash: Vec<AbstractionMap> = cluster_members
+        .iter()
+        .map(|s| learn_map(s, learn_spec, MapBackend::Hash))
+        .collect();
+    let cluster_dense: Vec<AbstractionMap> = cluster_members
+        .iter()
+        .map(|s| learn_map(s, learn_spec, MapBackend::Dense))
+        .collect();
+    let cluster_queries: Vec<(usize, [f64; 3])> = cluster_members
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| {
+            query_points(s, queries.len() / 16)
+                .into_iter()
+                .map(move |q| (i, q))
+        })
+        .collect();
+    // Interleave across members the way the decide loops do.
+    let mut cluster_queries = cluster_queries;
+    cluster_queries.sort_by_key(|(i, q)| ((q[2] * 1e6) as i64, *i));
+
+    let cluster_hash_ns =
+        microbench::bench("probe: LookupTable 16-map cluster", probe_iters, || {
+            let mut acc = 0.0;
+            for (i, q) in &cluster_queries {
+                acc += cluster_hash[*i].query(q[0], q[1], q[2]).cost;
+            }
+            black_box(acc);
+        }) / cluster_queries.len() as f64;
+    let cluster_dense_ns =
+        microbench::bench("probe: DenseGrid 16-map cluster", probe_iters, || {
+            let mut acc = 0.0;
+            for (i, q) in &cluster_queries {
+                acc += cluster_dense[*i].query(q[0], q[1], q[2]).cost;
+            }
+            black_box(acc);
+        }) / cluster_queries.len() as f64;
+    let cluster_speedup = cluster_hash_ns / cluster_dense_ns;
+    println!(
+        "cluster probe speedup: {cluster_speedup:.1}x  ({:.1} -> {:.1} ns/probe)",
+        cluster_hash_ns, cluster_dense_ns
+    );
+
+    // --- Offline learning: seed baseline (serial, hash substrate, deep
+    // clone per module grid point) vs the new pipeline (parallel fan-out,
+    // dense substrate, Arc-shared maps). ---
+    let map_points = learn_spec.lambda_steps * learn_spec.c_steps * learn_spec.q_steps;
+    let module_points = module_spec.lambda_steps
+        * module_spec.c_steps
+        * module_spec.q_steps
+        * module_spec.active_steps.min(members.len());
+    let capacity: f64 = members.iter().map(|m| m.speed / m.c_prior).sum();
+
+    llc_par::set_threads(1);
+    let started = Instant::now();
+    let baseline_hash_maps: Vec<AbstractionMap> = members
+        .iter()
+        .map(|s| learn_map(s, learn_spec, MapBackend::Hash))
+        .collect();
+    let baseline_maps_ms = microbench::ms(started.elapsed());
+
+    let started = Instant::now();
+    let sampler = llc_approx::GridSampler::new(vec![
+        (0.0, capacity * 1.3, module_spec.lambda_steps),
+        (0.7, 1.4, module_spec.c_steps),
+        (0.0, 100.0, module_spec.q_steps),
+        (
+            1.0,
+            members.len() as f64,
+            module_spec.active_steps.min(members.len()),
+        ),
+    ]);
+    let mut baseline_acc = 0.0;
+    for p in sampler.points() {
+        baseline_acc += simulate_module_baseline(
+            &l1_config,
+            &members,
+            &baseline_hash_maps,
+            p[0],
+            p[1],
+            p[2],
+            p[3].round() as usize,
+            module_spec.periods,
+        );
+    }
+    black_box(baseline_acc);
+    let baseline_module_ms = microbench::ms(started.elapsed());
+    llc_par::set_threads(0);
+
+    let started = Instant::now();
+    let new_maps: Vec<Arc<AbstractionMap>> = llc_par::par_map(&members, |s| {
+        Arc::new(learn_map(s, learn_spec, MapBackend::Dense))
+    });
+    let new_maps_ms = microbench::ms(started.elapsed());
+
+    let started = Instant::now();
+    let model =
+        ModuleCostModel::learn(&l1_config, &members, &new_maps, capacity * 1.3, module_spec);
+    black_box(model.tree_nodes());
+    let new_module_ms = microbench::ms(started.elapsed());
+
+    let baseline_total = baseline_maps_ms + baseline_module_ms;
+    let new_total = new_maps_ms + new_module_ms;
+    let learn_speedup = baseline_total / new_total;
+    println!(
+        "offline learning: maps {baseline_maps_ms:.0} -> {new_maps_ms:.0} ms, \
+         module tree {baseline_module_ms:.0} -> {new_module_ms:.0} ms, \
+         total {baseline_total:.0} -> {new_total:.0} ms ({learn_speedup:.1}x)"
+    );
+
+    // --- Online decision path: L1 decide over each substrate. ---
+    let mut l1_hash = L1Controller::new(l1_config, members.clone(), baseline_hash_maps);
+    let mut l1_dense = L1Controller::new_shared(l1_config, members.clone(), new_maps.clone());
+    for l1 in [&mut l1_hash, &mut l1_dense] {
+        for _ in 0..6 {
+            l1.observe(60 * 120, &[Some(0.0175); 4]);
+        }
+    }
+    let queues = vec![3usize; 4];
+    let active = vec![true; 4];
+    let decide_iters = if quick { 40 } else { 400 };
+    let hash_decide_ns = microbench::bench("decide: L1 over hash maps", decide_iters, || {
+        black_box(l1_hash.decide(black_box(&queues), black_box(&active)));
+    });
+    let dense_decide_ns = microbench::bench("decide: L1 over dense maps", decide_iters, || {
+        black_box(l1_dense.decide(black_box(&queues), black_box(&active)));
+    });
+    let decide_speedup = hash_decide_ns / dense_decide_ns;
+    println!("decide speedup: {decide_speedup:.1}x");
+
+    if quick {
+        println!("(quick mode: BENCH_substrate.json not rewritten)");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"probes\": {{\n    \"query_mix\": \"70% in-grid, 30% out-of-grid, {n} queries\",\n    \"hash_ns_per_probe\": {hash_ns:.2},\n    \"dense_ns_per_probe\": {dense_ns:.2},\n    \"hash_probes_per_sec\": {hps:.0},\n    \"dense_probes_per_sec\": {dps:.0},\n    \"speedup\": {probe_speedup:.2}\n  }},\n  \"offline_learning\": {{\n    \"map_grid_points_per_member\": {map_points},\n    \"module_grid_points\": {module_points},\n    \"baseline\": \"serial, hash substrate, deep map clone per module grid point\",\n    \"baseline_map_learn_ms\": {baseline_maps_ms:.1},\n    \"baseline_module_learn_ms\": {baseline_module_ms:.1},\n    \"baseline_total_ms\": {baseline_total:.1},\n    \"new_map_learn_ms\": {new_maps_ms:.1},\n    \"new_module_learn_ms\": {new_module_ms:.1},\n    \"new_total_ms\": {new_total:.1},\n    \"speedup\": {learn_speedup:.2}\n  }},\n  \"l1_decide\": {{\n    \"hash_us\": {hdu:.1},\n    \"dense_us\": {ddu:.1},\n    \"speedup\": {decide_speedup:.2}\n  }}\n}}\n",
+        n = queries.len(),
+        hps = 1e9 / hash_ns,
+        dps = 1e9 / dense_ns,
+        hdu = hash_decide_ns / 1e3,
+        ddu = dense_decide_ns / 1e3,
+    );
+    std::fs::write("BENCH_substrate.json", &json).expect("cannot write BENCH_substrate.json");
+    println!("wrote BENCH_substrate.json");
+}

@@ -5,10 +5,7 @@ use llc_workload::wc98_like_day;
 
 fn main() {
     let trace = wc98_like_day(llc_bench::figures::FIGURE_SEED);
-    let series: Vec<(f64, f64)> = trace
-        .iter()
-        .map(|(t, c)| (t / 3600.0, c))
-        .collect();
+    let series: Vec<(f64, f64)> = trace.iter().map(|(t, c)| (t / 3600.0, c)).collect();
 
     println!(
         "{}",
@@ -26,7 +23,13 @@ fn main() {
     println!("mean bucket:     {:.0} requests", trace.mean());
     println!(
         "peak / trough:   {:.1}x",
-        trace.peak() / trace.counts().iter().cloned().fold(f64::INFINITY, f64::min).max(1.0)
+        trace.peak()
+            / trace
+                .counts()
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .max(1.0)
     );
     println!();
     println!("paper: strong time-of-day variation, 2-minute granularity, one day.");

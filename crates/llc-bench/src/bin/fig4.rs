@@ -63,9 +63,7 @@ fn main() {
 
     let s = run.log.summary();
     println!("run summary: {s:?}\n");
-    println!(
-        "paper: the L1 controller sets α in anticipation of workload fluctuations;"
-    );
+    println!("paper: the L1 controller sets α in anticipation of workload fluctuations;");
     println!(
         "measured: active count spans {}..{} computers over the day",
         active.iter().map(|(_, a)| *a as usize).min().unwrap_or(0),
@@ -77,7 +75,11 @@ fn main() {
         .enumerate()
         .map(|(k, (a, p))| format!("{k},{:.1},{:.1}", a * t_l1, p * t_l1))
         .collect();
-    let p1 = write_csv("fig4_workload_forecast.csv", "l1_tick,actual,predicted", &rows);
+    let p1 = write_csv(
+        "fig4_workload_forecast.csv",
+        "l1_tick,actual,predicted",
+        &rows,
+    );
     let rows: Vec<String> = run
         .policy
         .active_history()

@@ -52,7 +52,10 @@ fn main() {
     );
     println!(
         "frequency range exercised: {:.2e}..{:.2e} Hz (table spans {:.2e}..{:.2e})",
-        freq_hz.iter().map(|(_, f)| *f).fold(f64::INFINITY, f64::min),
+        freq_hz
+            .iter()
+            .map(|(_, f)| *f)
+            .fold(f64::INFINITY, f64::min),
         freq_hz.iter().map(|(_, f)| *f).fold(0.0, f64::max),
         table[0],
         table[table.len() - 1],
@@ -77,6 +80,10 @@ fn main() {
             )
         })
         .collect();
-    let path = write_csv("fig5_c4_frequency_response.csv", "time_secs,frequency_hz,response_s", &rows);
+    let path = write_csv(
+        "fig5_c4_frequency_response.csv",
+        "time_secs,frequency_hz,response_s",
+        &rows,
+    );
     println!("wrote {}", path.display());
 }

@@ -7,11 +7,7 @@ use llc_bench::report::{ascii_plot, write_csv};
 fn main() {
     let run = cluster_experiment(FIGURE_SEED);
 
-    let workload: Vec<(f64, f64)> = run
-        .trace
-        .iter()
-        .map(|(t, c)| (t / 120.0, c))
-        .collect();
+    let workload: Vec<(f64, f64)> = run.trace.iter().map(|(t, c)| (t / 120.0, c)).collect();
     println!(
         "{}",
         ascii_plot(

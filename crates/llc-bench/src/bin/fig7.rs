@@ -27,11 +27,13 @@ fn main() {
                 8,
             )
         );
-        let mean: f64 =
-            series.iter().map(|(_, g)| g).sum::<f64>() / series.len() as f64;
+        let mean: f64 = series.iter().map(|(_, g)| g).sum::<f64>() / series.len() as f64;
         let lo = series.iter().map(|(_, g)| *g).fold(f64::INFINITY, f64::min);
         let hi = series.iter().map(|(_, g)| *g).fold(0.0, f64::max);
-        println!("  γ_{}: mean {mean:.2}, range {lo:.1}..{hi:.1}\n", module + 1);
+        println!(
+            "  γ_{}: mean {mean:.2}, range {lo:.1}..{hi:.1}\n",
+            module + 1
+        );
     }
 
     // Sanity: every decided split sums to 1.
@@ -48,9 +50,7 @@ fn main() {
             l2.mean_states_evaluated()
         );
     }
-    println!(
-        "paper: fractions quantized at 0.1, adapting with module states while Σγ_i = 1."
-    );
+    println!("paper: fractions quantized at 0.1, adapting with module states while Σγ_i = 1.");
 
     let rows: Vec<String> = history
         .iter()

@@ -22,7 +22,10 @@ fn main() {
 
     // Analytic joint-candidate counts (γ quantum 0.1): the curse of
     // dimensionality in one column.
-    println!("{:>3} | {:>26} | {:>16}", "m", "centralized candidates", "hierarchy (≈)");
+    println!(
+        "{:>3} | {:>26} | {:>16}",
+        "m", "centralized candidates", "hierarchy (≈)"
+    );
     println!("{}", "-".repeat(56));
     for m in [2usize, 4, 6, 8, 10, 16] {
         // The hierarchy's L1 evaluates candidate-α (≈ m + pairs) × γ

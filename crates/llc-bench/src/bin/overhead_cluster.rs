@@ -29,10 +29,7 @@ fn main() {
             .l2()
             .map(|l2| l2.mean_states_evaluated())
             .unwrap_or(0.0);
-        let (computers, modules) = (
-            run.scenario.num_computers(),
-            run.scenario.num_modules(),
-        );
+        let (computers, modules) = (run.scenario.num_computers(), run.scenario.num_modules());
         println!(
             "{computers:>10} | {modules:>8} | {:>12} | {:>12} | {:>12} | {:>12} | {l2_states:>14.0}",
             ms(overhead[2].mean()),
@@ -51,7 +48,9 @@ fn main() {
 
     println!();
     println!("paper reference: 2.5 s for 16 computers, ~3.4 s for 20 (MATLAB, P4 3 GHz);");
-    println!("expected shape: path time grows ~1.3-3.5x from 16/4 to 20/5 (L2 simplex 286 -> 1001).");
+    println!(
+        "expected shape: path time grows ~1.3-3.5x from 16/4 to 20/5 (L2 simplex 286 -> 1001)."
+    );
 
     let path = write_csv(
         "overhead_cluster.csv",

@@ -25,4 +25,5 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod microbench;
 pub mod report;

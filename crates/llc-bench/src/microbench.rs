@@ -1,0 +1,66 @@
+//! Minimal hand-rolled timing harness.
+//!
+//! The registry-less build environment cannot pull `criterion`, so the
+//! bench targets (`benches/*.rs`, `harness = false`) and the substrate
+//! perf binary time themselves with `Instant`: warmup passes, then the
+//! best-of-`reps` wall clock over a fixed iteration count. Numbers are
+//! indicative rather than statistically rigorous — good enough to track
+//! order-of-magnitude substrate changes across PRs.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock time of `iters` calls of `f` (no warmup).
+pub fn time<F: FnMut()>(iters: u64, mut f: F) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed()
+}
+
+/// Best-of-`reps` duration of `iters` calls of `f`, after one warmup rep.
+pub fn time_best<F: FnMut()>(reps: u32, iters: u64, mut f: F) -> Duration {
+    let _ = time(iters.clamp(1, 8), &mut f);
+    (0..reps.max(1))
+        .map(|_| time(iters, &mut f))
+        .min()
+        .expect("at least one rep")
+}
+
+/// Run a named micro-benchmark and print `ns/iter`; returns ns/iter.
+pub fn bench<F: FnMut()>(label: &str, iters: u64, f: F) -> f64 {
+    let best = time_best(3, iters, f);
+    let ns = best.as_secs_f64() * 1e9 / iters as f64;
+    println!("{label:<44} {:>12.1} ns/iter   ({iters} iters)", ns);
+    ns
+}
+
+/// Format a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_monotone_in_iters() {
+        let short = time(10, || {
+            std::hint::black_box(1 + 1);
+        });
+        let long = time(100_000, || {
+            std::hint::black_box((0..64).sum::<u64>());
+        });
+        assert!(long >= short);
+    }
+
+    #[test]
+    fn bench_reports_positive() {
+        let ns = bench("noopish", 1000, || {
+            std::hint::black_box(42u64);
+        });
+        assert!(ns >= 0.0);
+        assert!(ms(Duration::from_millis(2)) > 1.9);
+    }
+}

@@ -118,7 +118,7 @@ impl ClusterPolicy for ThresholdPolicy {
             self.module_arrivals[module.index] += module.arrivals;
             self.global_arrivals += module.arrivals;
         }
-        if obs.tick % self.config.period_ticks != 0 {
+        if !obs.tick.is_multiple_of(self.config.period_ticks) {
             return Vec::new();
         }
 
@@ -154,7 +154,11 @@ impl ClusterPolicy for ThresholdPolicy {
             };
 
             let mut cap = capacity(&active);
-            let rho = if cap > 0.0 { lambda / cap } else { f64::INFINITY };
+            let rho = if cap > 0.0 {
+                lambda / cap
+            } else {
+                f64::INFINITY
+            };
 
             if rho > self.config.rho_hi {
                 // Switch on the fastest inactive computer.
@@ -165,9 +169,7 @@ impl ClusterPolicy for ThresholdPolicy {
                     active[j] = true;
                     actions.push(Action::PowerOn(base + j));
                 }
-            } else if rho < self.config.rho_lo
-                && active.iter().filter(|&&a| a).count() > 1
-            {
+            } else if rho < self.config.rho_lo && active.iter().filter(|&&a| a).count() > 1 {
                 // Switch off the slowest active computer.
                 if let Some(j) = (0..module_members.len())
                     .filter(|&j| active[j])
@@ -192,7 +194,11 @@ impl ClusterPolicy for ThresholdPolicy {
                 if !active[j] {
                     continue;
                 }
-                let share = if cap > 0.0 { (speed / c_ref) / cap } else { 0.0 };
+                let share = if cap > 0.0 {
+                    (speed / c_ref) / cap
+                } else {
+                    0.0
+                };
                 let lambda_j = lambda * share;
                 // Local demand on this machine.
                 let c_local = c_ref / speed;
@@ -345,7 +351,10 @@ mod tests {
     fn threshold_acts_only_on_period() {
         let mut p = ThresholdPolicy::new(ThresholdConfig::default(), layout());
         let o = obs(1, 1000, vec![PowerState::On, PowerState::On]);
-        assert!(p.decide(&o).is_empty(), "off-period ticks are observation-only");
+        assert!(
+            p.decide(&o).is_empty(),
+            "off-period ticks are observation-only"
+        );
     }
 
     #[test]

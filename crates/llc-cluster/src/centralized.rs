@@ -170,7 +170,7 @@ impl ClusterPolicy for CentralizedPolicy {
             actions.push(Action::SetModuleWeights(vec![1.0]));
         }
 
-        if obs.tick % self.config.period_ticks != 0 {
+        if !obs.tick.is_multiple_of(self.config.period_ticks) {
             // Frequency refresh between joint decisions (same cadence as
             // the hierarchy's L0 layer).
             for comp in &obs.computers {
@@ -202,6 +202,8 @@ impl ClusterPolicy for CentralizedPolicy {
         // Exhaustive joint enumeration: α over all non-empty subsets, γ
         // over the quantized simplex of the active set, frequencies
         // optimal per computer (separable).
+        // (cost, alpha, gamma, frequency indices)
+        #[allow(clippy::type_complexity)]
         let mut best: Option<(f64, Vec<bool>, Vec<f64>, Vec<usize>)> = None;
         let mut states = 0u64;
         for mask in 1u32..(1u32 << m) {
@@ -209,15 +211,13 @@ impl ClusterPolicy for CentralizedPolicy {
             let active_idx: Vec<usize> = (0..m).filter(|&j| alpha[j]).collect();
             let switch_cost = self.config.switch_on_penalty
                 * active_idx.iter().filter(|&&j| !active[j]).count() as f64;
-            let grid =
-                SimplexGrid::with_quantum(active_idx.len(), self.config.gamma_quantum);
+            let grid = SimplexGrid::with_quantum(active_idx.len(), self.config.gamma_quantum);
             for gamma_active in grid.enumerate() {
                 states += 1;
                 let mut cost = switch_cost;
                 let mut freqs = self.last_freq.clone();
                 for (pos, &j) in active_idx.iter().enumerate() {
-                    let (idx, c_j) =
-                        self.best_frequency(j, gamma_active[pos] * lambda, queues[j]);
+                    let (idx, c_j) = self.best_frequency(j, gamma_active[pos] * lambda, queues[j]);
                     cost += c_j / self.config.horizon_steps as f64;
                     freqs[j] = idx;
                 }
@@ -323,7 +323,17 @@ mod tests {
         let log = Experiment::paper_default(10)
             .run(scenario.to_sim_config(), &mut policy, &trace, &store)
             .unwrap();
-        let active_late = log.ticks.last().unwrap().active_flags.iter().filter(|&&a| a).count();
-        assert!(active_late <= 2, "light load should shed machines, kept {active_late}");
+        let active_late = log
+            .ticks
+            .last()
+            .unwrap()
+            .active_flags
+            .iter()
+            .filter(|&&a| a)
+            .count();
+        assert!(
+            active_late <= 2,
+            "light load should shed machines, kept {active_late}"
+        );
     }
 }

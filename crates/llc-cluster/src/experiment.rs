@@ -231,8 +231,7 @@ impl Experiment {
         }
 
         let mut sampler = RequestSampler::paper_default(store, self.seed);
-        let mut spread_rng =
-            rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, 0xA121));
+        let mut spread_rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, 0xA121));
         let mut log = ExperimentLog {
             policy: policy.name().to_string(),
             response_target: self.response_target,
@@ -324,10 +323,7 @@ impl Experiment {
                 frequency_indices: (0..num_computers)
                     .map(|i| sim.computer(i).frequency_index())
                     .collect(),
-                computer_responses: prev_comp_stats
-                    .iter()
-                    .map(|w| w.mean_response())
-                    .collect(),
+                computer_responses: prev_comp_stats.iter().map(|w| w.mean_response()).collect(),
                 queue_total: (0..num_computers)
                     .map(|i| sim.computer(i).queue_length())
                     .sum(),

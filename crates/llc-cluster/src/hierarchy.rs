@@ -1,8 +1,9 @@
-use crate::l1::{AbstractionMap, L1Controller};
+use crate::l1::{AbstractionMap, L1Controller, MemberSpec};
 use crate::l2::{L2Controller, ModuleCostModel, ModuleState};
 use crate::policy::{Action, ClusterPolicy, Observations};
 use crate::{L0Controller, ScenarioConfig};
 use llc_sim::PowerState;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Wall-clock overhead accounting per hierarchy level.
@@ -74,23 +75,31 @@ impl HierarchicalPolicy {
         let mut module_models = Vec::new();
         let mut next_index = 0usize;
 
+        // Learn every member's abstraction map in one fan-out across all
+        // modules — each map is an independent offline grid. The maps are
+        // then *shared* (Arc) between the module cost-model learning and
+        // the L1 controllers instead of deep-cloned per consumer.
+        let flat_specs: Vec<&MemberSpec> = specs.iter().flatten().collect();
+        let flat_maps: Vec<Arc<AbstractionMap>> = llc_par::par_map(&flat_specs, |m| {
+            // λ grid reaches 2× the capacity at the *fastest* service
+            // time in range so the overload knee is always inside the
+            // trained surface (extrapolation beyond the grid then
+            // continues an already-overloaded slope).
+            Arc::new(AbstractionMap::learn(
+                &scenario.l0,
+                &m.phis,
+                (m.c_prior * 0.6, m.c_prior * 1.6),
+                2.0 / (m.c_prior * 0.6),
+                200.0,
+                scenario.learn,
+            ))
+        });
+        let mut flat_maps = flat_maps.into_iter();
+
         for module_specs in &specs {
-            let maps: Vec<AbstractionMap> = module_specs
+            let maps: Vec<Arc<AbstractionMap>> = module_specs
                 .iter()
-                .map(|m| {
-                    // λ grid reaches 2× the capacity at the *fastest*
-                    // service time in range so the overload knee is always
-                    // inside the trained surface (extrapolation beyond the
-                    // grid then continues an already-overloaded slope).
-                    AbstractionMap::learn(
-                        &scenario.l0,
-                        &m.phis,
-                        (m.c_prior * 0.6, m.c_prior * 1.6),
-                        2.0 / (m.c_prior * 0.6),
-                        200.0,
-                        scenario.learn,
-                    )
-                })
+                .map(|_| flat_maps.next().expect("one learned map per member"))
                 .collect();
 
             if specs.len() > 1 {
@@ -106,18 +115,16 @@ impl HierarchicalPolicy {
                 ));
             }
 
-            let indices: Vec<usize> =
-                (next_index..next_index + module_specs.len()).collect();
+            let indices: Vec<usize> = (next_index..next_index + module_specs.len()).collect();
             next_index += module_specs.len();
             members.push(indices);
             module_c_priors.push(
-                module_specs.iter().map(|m| m.c_prior).sum::<f64>()
-                    / module_specs.len() as f64,
+                module_specs.iter().map(|m| m.c_prior).sum::<f64>() / module_specs.len() as f64,
             );
             for m in module_specs {
                 l0s.push(L0Controller::new(scenario.l0, m.phis.clone()));
             }
-            l1s.push(L1Controller::new(
+            l1s.push(L1Controller::new_shared(
                 scenario.l1,
                 module_specs.clone(),
                 maps,
@@ -234,7 +241,7 @@ impl ClusterPolicy for HierarchicalPolicy {
         }
 
         // --- L2: split global load over modules (top-down first). ---
-        if obs.tick % self.l2_every == 0 {
+        if obs.tick.is_multiple_of(self.l2_every) {
             if let Some(l2) = self.l2.as_mut() {
                 let started = Instant::now();
                 l2.observe(self.global_arrivals_acc);
@@ -247,13 +254,10 @@ impl ClusterPolicy for HierarchicalPolicy {
                             .sum();
                         let active = self.members[m]
                             .iter()
-                            .filter(|&&i| {
-                                !matches!(obs.computers[i].state, PowerState::Off)
-                            })
+                            .filter(|&&i| !matches!(obs.computers[i].state, PowerState::Off))
                             .count();
                         ModuleState {
-                            c_factor: self.l1s[m].module_c_estimate()
-                                / self.module_c_priors[m],
+                            c_factor: self.l1s[m].module_c_estimate() / self.module_c_priors[m],
                             queue_mean: qs / self.members[m].len() as f64,
                             active,
                         }
@@ -276,7 +280,7 @@ impl ClusterPolicy for HierarchicalPolicy {
         }
 
         // --- L1: per-module α and γ. ---
-        if obs.tick % self.l1_every == 0 {
+        if obs.tick.is_multiple_of(self.l1_every) {
             let mut total_active = 0usize;
             for m in 0..self.members.len() {
                 let started = Instant::now();
@@ -308,8 +312,7 @@ impl ClusterPolicy for HierarchicalPolicy {
                 let decision = self.l1s[m].decide(&queues, &active);
 
                 for (pos, &i) in self.members[m].iter().enumerate() {
-                    let draining =
-                        matches!(obs.computers[i].state, PowerState::Draining);
+                    let draining = matches!(obs.computers[i].state, PowerState::Draining);
                     if decision.alpha[pos] && (!active[pos] || draining) {
                         // PowerOn also recovers a draining machine to On —
                         // without it the machine would keep rejecting the
@@ -341,9 +344,25 @@ impl ClusterPolicy for HierarchicalPolicy {
                 }
                 let routable: f64 = routed.iter().sum();
                 if reroute && routable <= 0.0 {
-                    // Everything assigned was booting — fall back to the
-                    // decided split rather than dropping the module's load.
-                    routed = decision.gamma.clone();
+                    // Everything assigned was booting. Serve this period
+                    // with whatever is actually running — even a machine
+                    // the split left at zero — because weight on a booting
+                    // machine just hoards a period of arrivals behind its
+                    // dead time. Only a module with nothing running at all
+                    // (cold start) keeps the decided split.
+                    let serving: Vec<usize> = (0..routed.len())
+                        .filter(|&pos| {
+                            let i = self.members[m][pos];
+                            decision.alpha[pos] && matches!(obs.computers[i].state, PowerState::On)
+                        })
+                        .collect();
+                    if serving.is_empty() {
+                        routed = decision.gamma.clone();
+                    } else {
+                        for &pos in &serving {
+                            routed[pos] = 1.0 / serving.len() as f64;
+                        }
+                    }
                 }
                 actions.push(Action::SetComputerWeights(m, routed));
                 self.overhead[1].record(started.elapsed());

@@ -109,6 +109,13 @@ impl Plant for L0Plant<'_> {
         (0..self.phis.len()).collect()
     }
 
+    fn admissible_into(&self, _x: &L0State, out: &mut Vec<usize>) {
+        // State-independent input set: skip the per-node allocation the
+        // lookahead search would otherwise pay (it expands thousands of
+        // nodes per offline-learning grid point).
+        out.extend(0..self.phis.len());
+    }
+
     fn step(&self, x: &L0State, u: &usize, w: &L0Env) -> L0State {
         let (q, r) = self.model.step(x.q, w.lambda, w.c, self.phis[*u]);
         L0State { q, r }
@@ -174,8 +181,8 @@ impl L0Controller {
             phis[0] > 0.0 && *phis.last().expect("non-empty") <= 1.0 + 1e-12,
             "φ values must lie in (0, 1]"
         );
-        let controller = LookaheadController::new(config.horizon)
-            .expect("config.horizon must be >= 1");
+        let controller =
+            LookaheadController::new(config.horizon).expect("config.horizon must be >= 1");
         L0Controller {
             config,
             phis,
@@ -252,10 +259,7 @@ impl L0Controller {
             r: 0.0,
         };
         let Decision {
-            input,
-            cost,
-            stats,
-            ..
+            input, cost, stats, ..
         } = self.controller.decide(&plant, &x0, None, &forecast)?;
         self.total_stats.absorb(stats);
         self.decisions += 1;
@@ -430,8 +434,7 @@ mod tests {
     #[test]
     fn simulate_model_final_queue_drains_under_capacity() {
         let cfg = L0Config::paper_default();
-        let (_, _, q_final) =
-            L0Controller::simulate_model(&cfg, &phis(), 50.0, 5.0, 0.0175, 4);
+        let (_, _, q_final) = L0Controller::simulate_model(&cfg, &phis(), 50.0, 5.0, 0.0175, 4);
         assert_eq!(q_final, 0.0, "light load drains the backlog");
     }
 

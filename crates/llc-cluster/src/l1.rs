@@ -1,7 +1,11 @@
 use crate::{L0Config, L0Controller};
-use llc_approx::{train_table, GridSampler, LookupTable, SimplexGrid};
+use llc_approx::{
+    train_dense, train_table, CostMap, DenseGrid, GridSampler, LookupTable, SimplexGrid,
+};
 use llc_core::{BoundedSearch, UncertaintyBand};
 use llc_forecast::{Ewma, Forecaster, LocalLinearTrend};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A cell of the abstraction map `g`: the average per-`T_L0` cost the L0
 /// controller achieves over one L1 period, and the queue it leaves behind.
@@ -15,15 +19,55 @@ pub struct GEntry {
     pub final_q: f64,
 }
 
-/// The abstraction map `g` for one computer (§4.2): a hash table over the
+/// Which lookup substrate backs an [`AbstractionMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapBackend {
+    /// Flat dense grid: O(1) clamp + stride probes, zero allocation.
+    /// The default — the learning domain is always a full rectangle.
+    Dense,
+    /// Quantized-key hash table: the paper's literal "hash table",
+    /// retained for sparse/ragged domains and equivalence testing.
+    Hash,
+}
+
+/// The trained table behind an [`AbstractionMap`], in either substrate.
+#[derive(Debug, Clone)]
+enum GTable {
+    Dense(DenseGrid<GEntry>),
+    Hash(LookupTable<GEntry>),
+}
+
+impl GTable {
+    /// Robust probe through the shared [`CostMap`] surface, so clamp
+    /// semantics live in one place per substrate.
+    #[inline]
+    fn get(&self, point: &[f64]) -> GEntry {
+        let entry = match self {
+            GTable::Dense(grid) => CostMap::probe(grid, point),
+            GTable::Hash(table) => CostMap::probe(table, point),
+        };
+        *entry.expect("abstraction map is trained before use")
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            GTable::Dense(grid) => CostMap::len(grid),
+            GTable::Hash(table) => CostMap::len(table),
+        }
+    }
+}
+
+/// The abstraction map `g` for one computer (§4.2): a table over the
 /// quantized `(λ, ĉ, q₀)` domain, learned offline by replaying the L0
 /// controller on the analytic queue model — "the map g is initially
 /// obtained in off-line fashion by simulating the L0 controller using
 /// various values from the input set and a quantized approximation of the
-/// domain of ω".
-#[derive(Debug, Clone)]
+/// domain of ω". Backed by a [`DenseGrid`] by default (see
+/// [`MapBackend`]); the hash substrate of the paper's prose remains
+/// available via [`AbstractionMap::learn_with_backend`].
+#[derive(Debug)]
 pub struct AbstractionMap {
-    table: LookupTable<GEntry>,
+    table: GTable,
     /// Upper edge of the trained arrival-rate grid.
     lambda_max: f64,
     /// Upper edge of the trained queue grid.
@@ -34,6 +78,30 @@ pub struct AbstractionMap {
     l0: L0Config,
     /// The computer's frequency scaling factors.
     phis: Vec<f64>,
+    /// Memo of out-of-grid analytic replays (dense substrate only — the
+    /// hash substrate stays a faithful seed baseline). The replay is a
+    /// pure function of `(λ, ĉ, q₀)` and the offline learning loops
+    /// re-ask the same overload points thousands of times across grid
+    /// points, so the map caches answers across *all* consumers sharing
+    /// it (the maps are `Arc`-shared). Keyed by exact bit patterns:
+    /// cached answers are bit-identical to fresh replays.
+    replay_cache: Mutex<HashMap<(u64, u64, u64), GEntry>>,
+}
+
+impl Clone for AbstractionMap {
+    fn clone(&self) -> Self {
+        AbstractionMap {
+            table: self.table.clone(),
+            lambda_max: self.lambda_max,
+            q_max: self.q_max,
+            steps_per_period: self.steps_per_period,
+            l0: self.l0,
+            phis: self.phis.clone(),
+            // A fresh cache: cheaper to refill than to deep-copy, and
+            // semantically invisible (pure function memo).
+            replay_cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 /// Resolution of the offline learning grid.
@@ -59,9 +127,16 @@ impl Default for LearnSpec {
 
 impl LearnSpec {
     /// A coarse grid for fast unit tests.
+    ///
+    /// Coarse must still resolve the overload knee: the λ grid spans
+    /// ~3.3× a computer's capacity, so with 8 steps a cell was ~0.5×
+    /// capacity wide and a just-overloaded rate quantized down to a
+    /// stable one — the L1 would happily shed machines into overload.
+    /// 20 steps keep the knee inside one cell of its true position; the
+    /// dense-grid substrate makes the extra points cheap even in tests.
     pub fn coarse() -> Self {
         LearnSpec {
-            lambda_steps: 8,
+            lambda_steps: 20,
             c_steps: 3,
             q_steps: 3,
         }
@@ -84,6 +159,38 @@ impl AbstractionMap {
         q_max: f64,
         spec: LearnSpec,
     ) -> Self {
+        Self::learn_with_backend(
+            l0,
+            phis,
+            c_range,
+            lambda_max,
+            q_max,
+            spec,
+            MapBackend::Dense,
+        )
+    }
+
+    /// [`AbstractionMap::learn`] with an explicit lookup substrate.
+    ///
+    /// Both backends are trained over the same [`GridSampler`] with cell
+    /// widths equal to the grid pitch ([`GridSampler::cell_steps`] — the
+    /// single source of truth, so cell width and grid spacing cannot
+    /// desynchronize), and answer every query identically (see the
+    /// substrate-equivalence test). Dense training fans out over the grid
+    /// with `llc_par`; the result is bit-identical to a serial build.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate ranges.
+    pub fn learn_with_backend(
+        l0: &L0Config,
+        phis: &[f64],
+        c_range: (f64, f64),
+        lambda_max: f64,
+        q_max: f64,
+        spec: LearnSpec,
+        backend: MapBackend,
+    ) -> Self {
         assert!(c_range.0 > 0.0 && c_range.1 >= c_range.0, "invalid c range");
         assert!(lambda_max > 0.0, "lambda_max must be positive");
         assert!(q_max >= 0.0, "q_max must be non-negative");
@@ -93,22 +200,7 @@ impl AbstractionMap {
             (c_range.0, c_range.1, spec.c_steps),
             (0.0, q_max, spec.q_steps),
         ]);
-        // Cell width must equal the grid-point spacing (hi-lo)/(steps-1),
-        // otherwise the quantized key space has holes between trained
-        // points and queries fall through to distant nearest-neighbors.
-        let spacing = |lo: f64, hi: f64, steps: usize| {
-            if steps > 1 {
-                (hi - lo) / (steps - 1) as f64
-            } else {
-                (hi - lo).max(1.0)
-            }
-        };
-        let cell = [
-            spacing(0.0, lambda_max, spec.lambda_steps),
-            spacing(c_range.0, c_range.1, spec.c_steps).max(1e-6),
-            spacing(0.0, q_max, spec.q_steps).max(1.0),
-        ];
-        let table = train_table(&sampler, &cell, |p| {
+        let g = |p: &[f64]| {
             let (cost, power, final_q) =
                 L0Controller::simulate_model(l0, phis, p[2], p[0], p[1], steps_per_period);
             GEntry {
@@ -116,7 +208,11 @@ impl AbstractionMap {
                 power,
                 final_q,
             }
-        });
+        };
+        let table = match backend {
+            MapBackend::Dense => GTable::Dense(train_dense(&sampler, g)),
+            MapBackend::Hash => GTable::Hash(train_table(&sampler, &sampler.cell_steps(), g)),
+        };
         AbstractionMap {
             table,
             lambda_max,
@@ -124,6 +220,7 @@ impl AbstractionMap {
             steps_per_period,
             l0: *l0,
             phis: phis.to_vec(),
+            replay_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -134,7 +231,16 @@ impl AbstractionMap {
 
     /// `true` if the map holds no cells.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.table.len() == 0
+    }
+
+    /// `true` when `(λ, q₀)` falls inside the trained grid, i.e. a
+    /// [`AbstractionMap::query`] will be a pure table probe rather than an
+    /// analytic-model replay. Callers use this to decide what is worth
+    /// memoizing: table probes are O(1), replays are not.
+    #[inline]
+    pub fn in_table(&self, lambda: f64, q0: f64) -> bool {
+        lambda.max(0.0) <= self.lambda_max && q0.max(0.0) <= self.q_max
     }
 
     /// Approximate cost/next-queue for `(λ, ĉ, q₀)`.
@@ -155,11 +261,31 @@ impl AbstractionMap {
         let lambda = lambda.max(0.0);
         let q0 = q0.max(0.0);
         if lambda <= self.lambda_max && q0 <= self.q_max {
-            return *self
-                .table
-                .get(&[lambda, c, q0])
-                .expect("abstraction map is trained before use");
+            return self.table.get(&[lambda, c, q0]);
         }
+        if matches!(self.table, GTable::Dense(_)) {
+            // Offline learning re-asks the same overload points thousands
+            // of times; a long *online* run under sustained overload asks
+            // ever-fresh forecast-derived values instead. The cap keeps
+            // the memo effective for the former without letting the
+            // latter grow it without bound (~3 MB at the cap).
+            const REPLAY_CACHE_CAP: usize = 65_536;
+            let key = (lambda.to_bits(), c.to_bits(), q0.to_bits());
+            if let Some(entry) = self.replay_cache.lock().expect("cache lock").get(&key) {
+                return *entry;
+            }
+            let entry = self.replay(lambda, c, q0);
+            let mut cache = self.replay_cache.lock().expect("cache lock");
+            if cache.len() < REPLAY_CACHE_CAP {
+                cache.insert(key, entry);
+            }
+            return entry;
+        }
+        self.replay(lambda, c, q0)
+    }
+
+    /// The exact out-of-grid answer: replay the analytic L0 model.
+    fn replay(&self, lambda: f64, c: f64, q0: f64) -> GEntry {
         let (cost, power, final_q) = L0Controller::simulate_model(
             &self.l0,
             &self.phis,
@@ -249,16 +375,30 @@ pub struct MemberSpec {
 pub struct L1Controller {
     config: L1Config,
     members: Vec<MemberSpec>,
-    maps: Vec<AbstractionMap>,
+    /// Shared (not cloned) per-member abstraction maps: offline module
+    /// learning replays thousands of short-lived `L1Controller`s over the
+    /// same maps, so construction must not deep-copy the tables.
+    maps: Vec<Arc<AbstractionMap>>,
     lambda_forecast: LocalLinearTrend,
     band: UncertaintyBand,
     c_filters: Vec<Ewma>,
     prev_alpha: Vec<bool>,
+    /// The previous decision's load split — the warm start of the next γ
+    /// search. Quantized cost surfaces plateau (one γ quantum often moves
+    /// a query within the same table cell), so a search restarted from
+    /// scratch each period stalls wherever its fresh starting point lands;
+    /// continuing from the standing split keeps refined allocations.
+    prev_gamma: Vec<f64>,
     last_prediction: Option<f64>,
     /// (actual rate, predicted rate) per L1 period — Fig. 4's Kalman plot.
     forecast_history: Vec<(f64, f64)>,
     total_states: u64,
     decisions: u64,
+    /// Per-decision memo for *out-of-grid* map queries (analytic-model
+    /// replays), keyed by `(member, band sample, γ quanta)`. Kept across
+    /// decisions as scratch so the table allocation is reused; cleared at
+    /// the start of every decision.
+    replay_memo: HashMap<(usize, usize, i64), f64>,
 }
 
 impl L1Controller {
@@ -270,6 +410,22 @@ impl L1Controller {
     /// Panics if members/maps are empty or lengths differ, or if
     /// `min_active` exceeds the member count.
     pub fn new(config: L1Config, members: Vec<MemberSpec>, maps: Vec<AbstractionMap>) -> Self {
+        Self::new_shared(config, members, maps.into_iter().map(Arc::new).collect())
+    }
+
+    /// [`L1Controller::new`] over maps that are already shared. Cloning an
+    /// `Arc` is O(1), so building many controllers over the same maps
+    /// (the offline L2 learning loop) costs nothing per build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if members/maps are empty or lengths differ, or if
+    /// `min_active` exceeds the member count.
+    pub fn new_shared(
+        config: L1Config,
+        members: Vec<MemberSpec>,
+        maps: Vec<Arc<AbstractionMap>>,
+    ) -> Self {
         assert!(!members.is_empty(), "module needs at least one computer");
         assert_eq!(members.len(), maps.len(), "one abstraction map per member");
         assert!(
@@ -286,10 +442,12 @@ impl L1Controller {
             band: UncertaintyBand::new(0.25).with_floor(0.0),
             c_filters,
             prev_alpha: vec![false; m],
+            prev_gamma: vec![0.0; m],
             last_prediction: None,
             forecast_history: Vec::new(),
             total_states: 0,
             decisions: 0,
+            replay_memo: HashMap::new(),
         }
     }
 
@@ -393,14 +551,16 @@ impl L1Controller {
         let cs = self.c_estimates();
         let mut states = 0usize;
 
-        // Per-decision memo over the quantized query space: γ is a
-        // multiple of the quantum and queues are fixed within a decision,
-        // so each (computer, band sample, γ step) cost is computed once —
-        // this keeps deep-backlog decisions (whose out-of-grid queries
-        // replay the L0 model) at a few hundred model rolls instead of
-        // hundreds of thousands.
-        let mut memo: std::collections::HashMap<(usize, usize, i64), f64> =
-            std::collections::HashMap::new();
+        // Per-decision memo over the quantized query space, for
+        // *out-of-grid* queries only: γ is a multiple of the quantum and
+        // queues are fixed within a decision, so each (computer, band
+        // sample, γ step) analytic replay is computed once — this keeps
+        // deep-backlog decisions at a few hundred model rolls instead of
+        // hundreds of thousands. In-grid queries bypass the memo: a dense
+        // probe is cheaper than the memo's own hash. The table itself is
+        // controller-owned scratch, so its allocation survives decisions.
+        self.replay_memo.clear();
+        let memo = &mut self.replay_memo;
         let quantum = self.config.gamma_quantum;
         // Cost of draining each computer's standing queue at zero load.
         let drain_costs: Vec<f64> = (0..m)
@@ -440,15 +600,12 @@ impl L1Controller {
 
         let mut best: Option<(f64, Vec<bool>, Vec<f64>)> = None;
         for alpha in candidates {
-            let active_idx: Vec<usize> =
-                (0..m).filter(|&j| alpha[j]).collect();
+            let active_idx: Vec<usize> = (0..m).filter(|&j| alpha[j]).collect();
             if active_idx.is_empty() {
                 continue;
             }
             let switch_cost = self.config.switch_on_penalty
-                * (0..m)
-                    .filter(|&j| alpha[j] && !active[j])
-                    .count() as f64;
+                * (0..m).filter(|&j| alpha[j] && !active[j]).count() as f64;
             // A machine ordered off still has to drain its backlog (and
             // cannot take new work while doing so): charge the cost of
             // finishing the queue under zero arrivals. Without this term,
@@ -459,17 +616,27 @@ impl L1Controller {
                 .sum();
 
             // γ search over the quantized simplex restricted to actives.
-            let grid = SimplexGrid::with_quantum(
-                active_idx.len(),
-                self.config.gamma_quantum,
-            );
-            // Start proportional to capacity — "the possible choices for
+            let grid = SimplexGrid::with_quantum(active_idx.len(), self.config.gamma_quantum);
+            // Warm-start from the standing split — "searches a limited
+            // neighborhood of [the current] state". Machines without a
+            // previous share (newly recruited, or the first decision)
+            // enter at their capacity share: "the possible choices for
             // γ_ij … are limited by the maximum processing capacity".
-            let capacities: Vec<f64> = active_idx
+            let total_capacity: f64 = active_idx
                 .iter()
                 .map(|&j| self.members[j].speed / cs[j])
+                .sum();
+            let weights: Vec<f64> = active_idx
+                .iter()
+                .map(|&j| {
+                    if self.prev_gamma[j] > 0.0 {
+                        self.prev_gamma[j]
+                    } else {
+                        self.members[j].speed / cs[j] / total_capacity
+                    }
+                })
                 .collect();
-            let start = grid.snap(&capacities);
+            let start = grid.snap(&weights);
 
             let maps = &self.maps;
             let mut evaluate = |gamma_active: &Vec<f64>| -> f64 {
@@ -478,15 +645,15 @@ impl L1Controller {
                     let mut sample_cost = 0.0;
                     for (pos, &j) in active_idx.iter().enumerate() {
                         let units = (gamma_active[pos] / quantum).round() as i64;
-                        let cost = *memo.entry((j, s, units)).or_insert_with(|| {
-                            maps[j]
-                                .query(
-                                    units as f64 * quantum * lambda_s,
-                                    cs[j],
-                                    queues[j] as f64,
-                                )
-                                .cost
-                        });
+                        let lambda_j = units as f64 * quantum * lambda_s;
+                        let q_j = queues[j] as f64;
+                        let cost = if maps[j].in_table(lambda_j, q_j) {
+                            maps[j].query(lambda_j, cs[j], q_j).cost
+                        } else {
+                            *memo
+                                .entry((j, s, units))
+                                .or_insert_with(|| maps[j].query(lambda_j, cs[j], q_j).cost)
+                        };
                         sample_cost += cost;
                     }
                     total += sample_cost;
@@ -494,10 +661,7 @@ impl L1Controller {
                 total / samples.len() as f64
             };
 
-            let search = BoundedSearch::new(
-                self.config.search_rounds,
-                self.config.search_evals,
-            );
+            let search = BoundedSearch::new(self.config.search_rounds, self.config.search_evals);
             let opt = search.minimize(start, &mut evaluate, |g| grid.neighbors(g));
             states += opt.evaluations * samples.len();
 
@@ -532,8 +696,7 @@ impl L1Controller {
         let (expected_cost, alpha, gamma) = best.unwrap_or_else(|| {
             let cheapest = (0..m)
                 .min_by(|&a, &b| {
-                    (self.members[a].speed / cs[a])
-                        .total_cmp(&(self.members[b].speed / cs[b]))
+                    (self.members[a].speed / cs[a]).total_cmp(&(self.members[b].speed / cs[b]))
                 })
                 .expect("module is non-empty");
             let mut alpha = vec![false; m];
@@ -543,6 +706,7 @@ impl L1Controller {
             (f64::INFINITY, alpha, gamma)
         });
         self.prev_alpha.copy_from_slice(&alpha);
+        self.prev_gamma.copy_from_slice(&gamma);
         self.total_states += states as u64;
         self.decisions += 1;
         L1Decision {
@@ -570,8 +734,7 @@ mod tests {
 
     fn build_module(n: usize) -> L1Controller {
         let profiles = FrequencyProfile::module_set();
-        let members: Vec<MemberSpec> =
-            (0..n).map(|j| member(profiles[j % 4])).collect();
+        let members: Vec<MemberSpec> = (0..n).map(|j| member(profiles[j % 4])).collect();
         let l0 = L0Config::paper_default();
         let maps: Vec<AbstractionMap> = members
             .iter()
@@ -690,7 +853,11 @@ mod tests {
             l1.observe(arrivals, &[Some(0.0175); 2].map(|d| d));
             let _ = l1.decide(&[0, 0], &[true, true]);
         }
-        assert!(l1.delta() > 5.0, "δ = {} should reflect the noise", l1.delta());
+        assert!(
+            l1.delta() > 5.0,
+            "δ = {} should reflect the noise",
+            l1.delta()
+        );
         assert!(!l1.forecast_history().is_empty());
     }
 
@@ -732,5 +899,3 @@ mod tests {
         assert_eq!(d.alpha, vec![true, false], "prohibitive W freezes α");
     }
 }
-
-

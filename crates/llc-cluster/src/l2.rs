@@ -2,6 +2,7 @@ use crate::l1::{AbstractionMap, L1Config, L1Controller, MemberSpec};
 use llc_approx::{RegressionTree, SimplexGrid, TreeConfig};
 use llc_core::BoundedSearch;
 use llc_forecast::{Forecaster, LocalLinearTrend};
+use std::sync::Arc;
 
 /// The per-module cost approximation `J̃_i` used by the L2 controller.
 ///
@@ -13,9 +14,30 @@ use llc_forecast::{Forecaster, LocalLinearTrend};
 /// Features are `(λ_i, c_factor, q̄)`: the arrival rate handed to the
 /// module, a multiplicative factor on the members' prior processing times
 /// (capturing service-time drift), and the mean member queue.
+///
+/// Beyond the trained queue range the tree saturates flat — a module
+/// 2000 requests deep would look exactly as costly as one at the grid
+/// edge, so the L2 would never shift load off a drowning module (the
+/// same overload-clamping edge the L1 abstraction map documents). The
+/// model therefore extends the cost surface linearly past the trained
+/// queue ceiling with a slope measured from the training data.
 #[derive(Debug, Clone)]
 pub struct ModuleCostModel {
     tree: RegressionTree,
+    /// Upper edge of the trained queue grid.
+    q_hi: f64,
+    /// Marginal cost per queued request past `q_hi`, measured from the
+    /// training set (mean cost at the queue ceiling vs at zero queue).
+    overload_slope: f64,
+    /// Marginal cost of one request *arriving* at a saturated module:
+    /// `overload_slope · T_L1 / m`. Within the simulated horizon a
+    /// saturated module's capacity is consumed by its backlog, so a new
+    /// arrival mostly converts into future queue — which the per-period
+    /// tree cannot see. Without this term the learned cost surface is
+    /// *flat in λ* for a drowned module, and the split search actually
+    /// routes load toward it (its cost looks sunk while the healthy
+    /// module's cost rises with load).
+    overload_arrival_cost: f64,
 }
 
 /// Resolution of the module-learning grid.
@@ -47,10 +69,20 @@ impl Default for ModuleLearnSpec {
 
 impl ModuleLearnSpec {
     /// A coarse grid for fast unit tests.
+    ///
+    /// The λ axis keeps near-default resolution even here: the tree's λ
+    /// cells must be comparable to the load the L2 moves per re-split
+    /// (a few γ quanta of the cluster rate), or every candidate split
+    /// lands in the same leaf and the cost landscape goes flat. The
+    /// dense-grid substrate and shared maps make the extra points cheap.
+    /// The c-factor axis needs an odd step count: with two points
+    /// `{0.7, 1.4}` a nominal query (1.0) falls in the 0.7 leaf and the
+    /// model believes the module is 43 % faster than it is, moving the
+    /// overload knee far past the true capacity.
     pub fn coarse() -> Self {
         ModuleLearnSpec {
-            lambda_steps: 6,
-            c_steps: 2,
+            lambda_steps: 16,
+            c_steps: 3,
             q_steps: 2,
             active_steps: 2,
             periods: 2,
@@ -62,34 +94,38 @@ impl ModuleLearnSpec {
 /// abstraction maps for a constant offered load — the inner loop of the
 /// L2 learning pipeline ("the behavior of module M_i is learned by
 /// simulating the control structure in Fig. 2(b)").
+#[allow(clippy::too_many_arguments)] // mirrors the learning grid's axes
 fn simulate_module(
     l1_config: &L1Config,
     members: &[MemberSpec],
-    maps: &[AbstractionMap],
+    maps: &[Arc<AbstractionMap>],
     lambda: f64,
     c_factor: f64,
     q0: f64,
     active_init: usize,
     periods: usize,
 ) -> f64 {
-    let mut l1 = L1Controller::new(l1_config.clone_for_training(), members.to_vec(), maps.to_vec());
+    // `new_shared` clones Arcs, not tables: the learning grid builds one
+    // controller per grid point, so a deep copy here would dominate the
+    // whole offline pass.
+    let mut l1 = L1Controller::new_shared(
+        l1_config.clone_for_training(),
+        members.to_vec(),
+        maps.to_vec(),
+    );
     let m = members.len();
     let mut queues: Vec<f64> = vec![q0; m];
     // Start with the `active_init` highest-capacity machines on — the
     // canonical configuration an L1 controller converges to at that size.
     let mut order: Vec<usize> = (0..m).collect();
     order.sort_by(|&a, &b| {
-        (members[b].speed / members[b].c_prior)
-            .total_cmp(&(members[a].speed / members[a].c_prior))
+        (members[b].speed / members[b].c_prior).total_cmp(&(members[a].speed / members[a].c_prior))
     });
     let mut active = vec![false; m];
     for &j in order.iter().take(active_init.clamp(1, m)) {
         active[j] = true;
     }
-    let demands: Vec<Option<f64>> = members
-        .iter()
-        .map(|s| Some(s.c_prior * c_factor))
-        .collect();
+    let demands: Vec<Option<f64>> = members.iter().map(|s| Some(s.c_prior * c_factor)).collect();
     let mut total = 0.0;
     for _ in 0..periods {
         let arrivals = (lambda * l1_config.period).round().max(0.0) as u64;
@@ -143,35 +179,36 @@ impl ModuleCostModel {
     pub fn learn(
         l1_config: &L1Config,
         members: &[MemberSpec],
-        maps: &[AbstractionMap],
+        maps: &[Arc<AbstractionMap>],
         lambda_max: f64,
         spec: ModuleLearnSpec,
     ) -> Self {
         assert!(!members.is_empty(), "module needs members");
         assert!(lambda_max > 0.0, "lambda_max must be positive");
         let m = members.len() as f64;
+        let q_hi = 100.0;
         let sampler = llc_approx::GridSampler::new(vec![
             (0.0, lambda_max, spec.lambda_steps),
             (0.7, 1.4, spec.c_steps),
-            (0.0, 100.0, spec.q_steps),
+            (0.0, q_hi, spec.q_steps),
             (1.0, m, spec.active_steps.min(members.len())),
         ]);
         let xs = sampler.points();
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|p| {
-                simulate_module(
-                    l1_config,
-                    members,
-                    maps,
-                    p[0],
-                    p[1],
-                    p[2],
-                    p[3].round() as usize,
-                    spec.periods,
-                )
-            })
-            .collect();
+        // Every grid point is an independent module replay: fan out with
+        // llc_par (slot-per-point writes keep the result bit-identical to
+        // a serial pass).
+        let ys: Vec<f64> = llc_par::par_map(&xs, |p| {
+            simulate_module(
+                l1_config,
+                members,
+                maps,
+                p[0],
+                p[1],
+                p[2],
+                p[3].round() as usize,
+                spec.periods,
+            )
+        });
         let tree = RegressionTree::fit(
             &xs,
             &ys,
@@ -181,18 +218,52 @@ impl ModuleCostModel {
             },
         )
         .expect("grid sampler produces a consistent training set");
-        ModuleCostModel { tree }
+        // Marginal per-request cost of a queue beyond the trained grid:
+        // mean training cost at the queue ceiling minus at zero queue.
+        let mean_at = |q: f64| {
+            let (sum, n) = xs
+                .iter()
+                .zip(&ys)
+                .filter(|(x, _)| (x[2] - q).abs() < 1e-9)
+                .fold((0.0, 0usize), |(s, n), (_, &y)| (s + y, n + 1));
+            if n > 0 {
+                sum / n as f64
+            } else {
+                0.0
+            }
+        };
+        let overload_slope = ((mean_at(q_hi) - mean_at(0.0)) / q_hi).max(0.0);
+        // One period of arrivals at rate λ adds λ·T/m to the *mean* queue
+        // of a saturated module; each queued request costs the measured
+        // marginal slope.
+        let overload_arrival_cost = overload_slope * l1_config.period / members.len() as f64;
+        ModuleCostModel {
+            tree,
+            q_hi,
+            overload_slope,
+            overload_arrival_cost,
+        }
     }
 
     /// Predicted per-period cost of the module at
     /// `(λ_i, c_factor, q̄, active)`.
+    ///
+    /// Queues beyond the trained ceiling add a linear backlog penalty on
+    /// top of the tree's edge prediction, plus a per-arrival penalty that
+    /// restores the λ gradient a saturated module loses (see the field
+    /// docs on `overload_arrival_cost`) — so the split search sheds load
+    /// off a drowning module instead of treating its cost as sunk.
     pub fn predict(&self, lambda: f64, c_factor: f64, q_mean: f64, active: usize) -> f64 {
-        self.tree.predict(&[
-            lambda.max(0.0),
-            c_factor,
-            q_mean.max(0.0),
-            active as f64,
-        ])
+        let q = q_mean.max(0.0);
+        let base = self
+            .tree
+            .predict(&[lambda.max(0.0), c_factor, q.min(self.q_hi), active as f64]);
+        if q > self.q_hi {
+            base + self.overload_slope * (q - self.q_hi)
+                + self.overload_arrival_cost * lambda.max(0.0)
+        } else {
+            base
+        }
     }
 
     /// Size of the underlying tree (for the "compact" claim).
@@ -226,8 +297,8 @@ impl L2Config {
         L2Config {
             period: 120.0,
             gamma_quantum: 0.1,
-            max_move_quanta: 2,
-            switch_margin: 0.05,
+            max_move_quanta: 1,
+            switch_margin: 0.1,
         }
     }
 }
@@ -387,8 +458,7 @@ impl L2Controller {
                 })
                 .sum()
         };
-        let opt = BoundedSearch::argmin(candidates, evaluate)
-            .expect("simplex grid is never empty");
+        let opt = BoundedSearch::argmin(candidates, evaluate).expect("simplex grid is never empty");
 
         // Hysteresis: keep the current split unless the winner clears the
         // switching margin — tree predictions are noisy and a flapping
@@ -440,18 +510,18 @@ mod tests {
             .collect()
     }
 
-    fn maps_for(ms: &[MemberSpec]) -> Vec<AbstractionMap> {
+    fn maps_for(ms: &[MemberSpec]) -> Vec<Arc<AbstractionMap>> {
         let l0 = L0Config::paper_default();
         ms.iter()
             .map(|m| {
-                AbstractionMap::learn(
+                Arc::new(AbstractionMap::learn(
                     &l0,
                     &m.phis,
                     (m.c_prior * 0.6, m.c_prior * 1.5),
                     2.0 / (m.c_prior * 0.6),
                     150.0,
                     LearnSpec::coarse(),
-                )
+                ))
             })
             .collect()
     }
@@ -504,7 +574,7 @@ mod tests {
         // Identical modules under heavy load: no module should be starved
         // or monopolized.
         for &g in &d.gamma {
-            assert!(g >= 0.1 && g <= 0.5, "unbalanced split {:?}", d.gamma);
+            assert!((0.1..=0.5).contains(&g), "unbalanced split {:?}", d.gamma);
         }
         assert_eq!(d.states_evaluated, 286, "full 0.1-quantum enumeration");
     }

@@ -42,17 +42,14 @@ mod profiles;
 pub use baselines::{AlwaysMaxPolicy, ThresholdConfig, ThresholdPolicy};
 pub use centralized::{joint_candidate_count, CentralizedConfig, CentralizedPolicy};
 pub use config::{
-    cluster_of, module_of_four, paper_cluster_16, paper_cluster_20, single_module,
-    ScenarioConfig,
+    cluster_of, module_of_four, paper_cluster_16, paper_cluster_20, single_module, ScenarioConfig,
 };
 pub use experiment::{Experiment, ExperimentLog, ExperimentSummary, TickRecord};
 pub use hierarchy::{HierarchicalPolicy, LevelOverhead};
 pub use l0::{L0Config, L0Controller, L0Decision, QueueModel};
 pub use l1::{
-    AbstractionMap, GEntry, L1Config, L1Controller, L1Decision, LearnSpec, MemberSpec,
+    AbstractionMap, GEntry, L1Config, L1Controller, L1Decision, LearnSpec, MapBackend, MemberSpec,
 };
-pub use l2::{
-    L2Config, L2Controller, L2Decision, ModuleCostModel, ModuleLearnSpec, ModuleState,
-};
+pub use l2::{L2Config, L2Controller, L2Decision, ModuleCostModel, ModuleLearnSpec, ModuleState};
 pub use policy::{Action, ClusterPolicy, ComputerObs, ModuleObs, Observations};
 pub use profiles::{ComputerProfile, FrequencyProfile};

@@ -25,15 +25,15 @@ impl FrequencyProfile {
             FrequencyProfile::MobileSix => {
                 vec![6.0e8, 8.0e8, 1.0e9, 1.2e9, 1.4e9, 1.6e9]
             }
-            FrequencyProfile::WideEight => vec![
-                3.0e8, 5.0e8, 7.0e8, 9.0e8, 1.1e9, 1.3e9, 1.5e9, 1.7e9,
-            ],
-            FrequencyProfile::BusSeven => vec![
-                5.33e8, 8.0e8, 1.066e9, 1.333e9, 1.6e9, 1.866e9, 2.133e9,
-            ],
-            FrequencyProfile::TallEight => vec![
-                2.5e8, 5.0e8, 7.5e8, 1.0e9, 1.25e9, 1.5e9, 1.75e9, 2.0e9,
-            ],
+            FrequencyProfile::WideEight => {
+                vec![3.0e8, 5.0e8, 7.0e8, 9.0e8, 1.1e9, 1.3e9, 1.5e9, 1.7e9]
+            }
+            FrequencyProfile::BusSeven => {
+                vec![5.33e8, 8.0e8, 1.066e9, 1.333e9, 1.6e9, 1.866e9, 2.133e9]
+            }
+            FrequencyProfile::TallEight => {
+                vec![2.5e8, 5.0e8, 7.5e8, 1.0e9, 1.25e9, 1.5e9, 1.75e9, 2.0e9]
+            }
         }
     }
 
@@ -143,7 +143,11 @@ mod tests {
             assert!(f.windows(2).all(|w| w[0] < w[1]), "{p:?} not ascending");
             assert!(f[0] >= 2.0e8, "{p:?} floor too low");
             assert!(*f.last().unwrap() <= 2.2e9, "{p:?} ceiling too high");
-            assert!((6..=10).contains(&p.len()), "{p:?} has {} settings", p.len());
+            assert!(
+                (6..=10).contains(&p.len()),
+                "{p:?} has {} settings",
+                p.len()
+            );
         }
     }
 

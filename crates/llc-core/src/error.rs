@@ -37,7 +37,10 @@ impl fmt::Display for Error {
             ),
             Error::EmptyScenario => write!(f, "environment scenario set is empty"),
             Error::InvalidSchedule => {
-                write!(f, "multi-rate schedule needs at least one level with multiplier >= 1")
+                write!(
+                    f,
+                    "multi-rate schedule needs at least one level with multiplier >= 1"
+                )
             }
             Error::EmptyCandidateSet => write!(f, "bounded search started with no candidates"),
         }

@@ -98,6 +98,10 @@ impl LookaheadController {
         let mut best: Option<(f64, Vec<P::Input>)> = None;
         let mut stats = SearchStats::default();
         let mut prefix: Vec<P::Input> = Vec::with_capacity(self.horizon);
+        // One admissible-set buffer per depth, reused across the whole
+        // tree: the search expands O(|U|^N) nodes and a heap allocation
+        // per node would dominate cheap plants.
+        let mut input_bufs: Vec<Vec<P::Input>> = (0..self.horizon).map(|_| Vec::new()).collect();
 
         self.search(
             plant,
@@ -107,6 +111,7 @@ impl LookaheadController {
             0,
             0.0,
             &mut prefix,
+            &mut input_bufs,
             &mut best,
             &mut stats,
         )?;
@@ -132,6 +137,7 @@ impl LookaheadController {
         depth: usize,
         acc: f64,
         prefix: &mut Vec<P::Input>,
+        input_bufs: &mut [Vec<P::Input>],
         best: &mut Option<(f64, Vec<P::Input>)>,
         stats: &mut SearchStats,
     ) -> Result<(), Error> {
@@ -142,20 +148,24 @@ impl LookaheadController {
             return Ok(());
         }
 
-        let inputs = plant.admissible(x);
-        if inputs.is_empty() {
+        let (mine, deeper) = input_bufs
+            .split_first_mut()
+            .expect("one input buffer per depth");
+        mine.clear();
+        plant.admissible_into(x, mine);
+        if mine.is_empty() {
             return Err(Error::EmptyInputSet);
         }
         let step = &forecast[depth];
         let total_w = step.total_weight();
 
-        for u in inputs {
+        for u in mine.iter() {
             // Expected cost over the scenario samples; nominal successor
             // carries the trajectory forward.
             let mut expected = 0.0;
             for (w_env, weight) in &step.samples {
-                let x_s = plant.step(x, &u, w_env);
-                expected += weight * plant.cost(&x_s, &u, prev);
+                let x_s = plant.step(x, u, w_env);
+                expected += weight * plant.cost(&x_s, u, prev);
             }
             expected /= total_w;
             stats.states_explored += 1;
@@ -166,16 +176,17 @@ impl LookaheadController {
                 continue;
             }
 
-            let x_nominal = plant.step(x, &u, &step.nominal);
+            let x_nominal = plant.step(x, u, &step.nominal);
             prefix.push(u.clone());
             self.search(
                 plant,
                 &x_nominal,
-                Some(&u),
+                Some(u),
                 forecast,
                 depth + 1,
                 acc_next,
                 prefix,
+                deeper,
                 best,
                 stats,
             )?;
@@ -219,18 +230,26 @@ mod tests {
     #[test]
     fn drives_toward_setpoint() {
         let c = LookaheadController::new(3).unwrap();
-        let d = c.decide(&Integrator, &0.0, None, &certain_forecast(3)).unwrap();
+        let d = c
+            .decide(&Integrator, &0.0, None, &certain_forecast(3))
+            .unwrap();
         assert_eq!(d.input, 2, "far below set-point: push hard");
-        let d = c.decide(&Integrator, &10.0, None, &certain_forecast(3)).unwrap();
+        let d = c
+            .decide(&Integrator, &10.0, None, &certain_forecast(3))
+            .unwrap();
         assert_eq!(d.input, 0, "at set-point: hold");
-        let d = c.decide(&Integrator, &14.0, None, &certain_forecast(3)).unwrap();
+        let d = c
+            .decide(&Integrator, &14.0, None, &certain_forecast(3))
+            .unwrap();
         assert_eq!(d.input, -2, "above set-point: push down");
     }
 
     #[test]
     fn sequence_length_matches_horizon() {
         let c = LookaheadController::new(4).unwrap();
-        let d = c.decide(&Integrator, &3.0, None, &certain_forecast(4)).unwrap();
+        let d = c
+            .decide(&Integrator, &3.0, None, &certain_forecast(4))
+            .unwrap();
         assert_eq!(d.sequence.len(), 4);
         assert_eq!(d.sequence[0], d.input);
     }
@@ -254,7 +273,9 @@ mod tests {
         // pruned subtree roots must never exceed the exhaustive bound
         // Σ |U|^q and must be at least |U| (first level fully expanded).
         let c = LookaheadController::new(2).unwrap();
-        let d = c.decide(&Integrator, &0.0, None, &certain_forecast(2)).unwrap();
+        let d = c
+            .decide(&Integrator, &0.0, None, &certain_forecast(2))
+            .unwrap();
         let full: usize = 5 + 5 * 5;
         assert!(d.stats.states_explored <= full);
         assert!(d.stats.states_explored >= 5);
@@ -265,7 +286,9 @@ mod tests {
         // Compare against a brute-force enumeration of all sequences.
         let c = LookaheadController::new(3).unwrap();
         for x0 in [-5.0, 0.0, 7.5, 10.0, 23.0] {
-            let d = c.decide(&Integrator, &x0, None, &certain_forecast(3)).unwrap();
+            let d = c
+                .decide(&Integrator, &x0, None, &certain_forecast(3))
+                .unwrap();
             let mut best = f64::INFINITY;
             let mut best_first = 0;
             let us = [-2, -1, 0, 1, 2];
@@ -320,8 +343,9 @@ mod tests {
         let d_nom = c.decide(&Asym, &8.0, None, &nominal_only).unwrap();
         assert_eq!(d_nom.input, 2, "nominal forecast fills the gap exactly");
 
-        let band =
-            Forecast::new(vec![EnvStep::with_samples(0.0, vec![-1.0, 0.0, 1.0]).unwrap()]);
+        let band = Forecast::new(vec![
+            EnvStep::with_samples(0.0, vec![-1.0, 0.0, 1.0]).unwrap()
+        ]);
         let d_band = c.decide(&Asym, &8.0, None, &band).unwrap();
         assert_eq!(d_band.input, 1, "band-aware controller backs off");
     }

@@ -27,6 +27,17 @@ pub trait Plant {
     /// [`Error::EmptyInputSet`](crate::Error::EmptyInputSet).
     fn admissible(&self, x: &Self::State) -> Vec<Self::Input>;
 
+    /// Write the admissible input set into `out` (cleared by the caller).
+    ///
+    /// The lookahead search calls this once per expanded node; the default
+    /// delegates to [`Plant::admissible`], but plants with a
+    /// state-independent input set should override it to skip the
+    /// per-node allocation. Must enumerate the same inputs in the same
+    /// order as `admissible` (tie-breaking depends on it).
+    fn admissible_into(&self, x: &Self::State, out: &mut Vec<Self::Input>) {
+        out.extend(self.admissible(x));
+    }
+
     /// One-step prediction `x̂(k+1) = f(x(k), u(k), ω̂(k))`.
     fn step(&self, x: &Self::State, u: &Self::Input, w: &Self::Env) -> Self::State;
 

@@ -39,7 +39,8 @@ impl MultiRateSchedule {
         if multipliers.is_empty()
             || multipliers.contains(&0)
             || multipliers[0] != 1
-            || !(base_period > 0.0)
+            || base_period <= 0.0
+            || base_period.is_nan()
         {
             return Err(Error::InvalidSchedule);
         }
@@ -72,7 +73,7 @@ impl MultiRateSchedule {
     pub fn due_at(&self, tick: u64) -> Vec<usize> {
         (0..self.multipliers.len())
             .rev()
-            .filter(|&l| tick % self.multipliers[l] == 0)
+            .filter(|&l| tick.is_multiple_of(self.multipliers[l]))
             .collect()
     }
 

@@ -92,9 +92,7 @@ impl Arima {
         // Toeplitz system R a = r with R[i][j] = cov(|i-j|), r[i] = cov(i+1).
         let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.p);
         for i in 0..self.p {
-            let row: Vec<f64> = (0..self.p)
-                .map(|j| cov(i.abs_diff(j)))
-                .collect();
+            let row: Vec<f64> = (0..self.p).map(|j| cov(i.abs_diff(j))).collect();
             rows.push(row);
         }
         let r_mat = Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>());

@@ -21,7 +21,10 @@ impl Ewma {
     ///
     /// Panics if `pi` lies outside `(0, 1]`.
     pub fn new(pi: f64) -> Self {
-        assert!(pi > 0.0 && pi <= 1.0, "smoothing constant must be in (0, 1], got {pi}");
+        assert!(
+            pi > 0.0 && pi <= 1.0,
+            "smoothing constant must be in (0, 1], got {pi}"
+        );
         Ewma {
             pi,
             estimate: 0.0,

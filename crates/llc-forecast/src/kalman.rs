@@ -83,7 +83,9 @@ impl KalmanFilter {
     /// Time update: propagate the estimate one step without a measurement.
     pub fn predict(&mut self) {
         self.x = &self.f * &self.x;
-        self.p = (&(&self.f * &self.p) * &self.f.transpose()).plus(&self.q).expect("shape");
+        self.p = (&(&self.f * &self.p) * &self.f.transpose())
+            .plus(&self.q)
+            .expect("shape");
         self.p = self.p.symmetrize();
     }
 
@@ -204,7 +206,8 @@ mod tests {
         )
         .unwrap();
         for k in 0..500 {
-            kf.step_scalar(if k % 2 == 0 { 10.0 } else { -10.0 }).unwrap();
+            kf.step_scalar(if k % 2 == 0 { 10.0 } else { -10.0 })
+                .unwrap();
             let p = kf.covariance();
             assert!((p.get(0, 1) - p.get(1, 0)).abs() < 1e-9, "symmetry");
             assert!(p.get(0, 0) >= 0.0 && p.get(1, 1) >= 0.0, "diagonal PSD");

@@ -392,7 +392,10 @@ mod tests {
 
     #[test]
     fn inverse_requires_square() {
-        assert_eq!(Matrix::zeros(2, 3).inverse().unwrap_err(), MatrixError::NotSquare);
+        assert_eq!(
+            Matrix::zeros(2, 3).inverse().unwrap_err(),
+            MatrixError::NotSquare
+        );
     }
 
     #[test]

@@ -112,8 +112,7 @@ impl Forecaster for SeasonalTrend {
         if self.seen[phase] == 0 {
             self.profile[phase] = value;
         } else {
-            self.profile[phase] =
-                self.alpha * value + (1.0 - self.alpha) * self.profile[phase];
+            self.profile[phase] = self.alpha * value + (1.0 - self.alpha) * self.profile[phase];
         }
         self.seen[phase] += 1;
         self.observations += 1;
@@ -123,8 +122,7 @@ impl Forecaster for SeasonalTrend {
         let residuals = self.residual.predict(horizon);
         (0..horizon)
             .map(|h| {
-                let phase =
-                    ((self.observations + h as u64) % self.period as u64) as usize;
+                let phase = ((self.observations + h as u64) % self.period as u64) as usize;
                 // Unseen phases fall back to the mean of seen phases.
                 let seasonal = if self.seen[phase] > 0 {
                     self.profile[phase]
@@ -167,7 +165,13 @@ mod tests {
 
     #[test]
     fn beats_plain_trend_on_sharp_diurnal_swings() {
-        let day = |h: usize| if (8..18).contains(&(h % 24)) { 1000.0 } else { 100.0 };
+        let day = |h: usize| {
+            if (8..18).contains(&(h % 24)) {
+                1000.0
+            } else {
+                100.0
+            }
+        };
         let mut seasonal = SeasonalTrend::new(24, 0.3);
         let mut trend = LocalLinearTrend::with_default_noise();
         let mut err_s = 0.0;

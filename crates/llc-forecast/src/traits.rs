@@ -14,10 +14,7 @@ pub trait Forecaster {
 
     /// Convenience one-step-ahead prediction.
     fn predict_one(&self) -> f64 {
-        self.predict(1)
-            .first()
-            .copied()
-            .unwrap_or(f64::NAN)
+        self.predict(1).first().copied().unwrap_or(f64::NAN)
     }
 
     /// Number of observations absorbed so far.

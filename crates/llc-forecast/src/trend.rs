@@ -39,7 +39,10 @@ impl LocalLinearTrend {
     /// are zero (the filter would be degenerate).
     pub fn new(q_level: f64, q_slope: f64, r: f64) -> Self {
         for (name, v) in [("q_level", q_level), ("q_slope", q_slope), ("r", r)] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and >= 0, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and >= 0, got {v}"
+            );
         }
         assert!(
             q_level > 0.0 || q_slope > 0.0 || r > 0.0,
@@ -90,8 +93,7 @@ impl LocalLinearTrend {
         assert!(training.len() >= 8, "need at least 8 training points");
         let diffs: Vec<f64> = training.windows(2).map(|w| w[1] - w[0]).collect();
         let mean_d = diffs.iter().sum::<f64>() / diffs.len() as f64;
-        let var_d = diffs.iter().map(|d| (d - mean_d).powi(2)).sum::<f64>()
-            / diffs.len() as f64;
+        let var_d = diffs.iter().map(|d| (d - mean_d).powi(2)).sum::<f64>() / diffs.len() as f64;
         let r = var_d.max(1e-6);
 
         let ratios = [1e-3, 1e-2, 1e-1, 1.0, 10.0];

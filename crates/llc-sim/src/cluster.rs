@@ -34,7 +34,10 @@ impl fmt::Display for SimError {
             SimError::UnknownComputer(i) => write!(f, "no computer with index {i}"),
             SimError::UnknownModule(i) => write!(f, "no module with index {i}"),
             SimError::WeightLengthMismatch { expected, got } => {
-                write!(f, "weight vector has length {got}, router expects {expected}")
+                write!(
+                    f,
+                    "weight vector has length {got}, router expects {expected}"
+                )
             }
             SimError::TimeRanBackwards { now, requested } => {
                 write!(f, "requested time {requested} precedes current time {now}")
@@ -152,7 +155,10 @@ impl ClusterSim {
     /// Panics if the config has no modules or an empty module (the
     /// computer constructor validates the rest).
     pub fn new(config: ClusterConfig) -> Self {
-        assert!(!config.modules.is_empty(), "cluster needs at least one module");
+        assert!(
+            !config.modules.is_empty(),
+            "cluster needs at least one module"
+        );
         assert!(
             config.modules.iter().all(|m| !m.is_empty()),
             "every module needs at least one computer"
@@ -516,7 +522,10 @@ mod tests {
         // Service starts at 120, 1 s at full speed -> done at 121.
         let stats = sim.drain_computer_stats();
         assert_eq!(stats[0].completions, 1);
-        assert!((stats[0].response_sum - 61.0).abs() < 1e-9, "waited through boot");
+        assert!(
+            (stats[0].response_sum - 61.0).abs() < 1e-9,
+            "waited through boot"
+        );
     }
 
     #[test]

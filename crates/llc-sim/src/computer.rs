@@ -273,7 +273,10 @@ impl Computer {
     ///
     /// Panics if `index` is out of range.
     pub fn set_frequency_index(&mut self, index: usize, now: f64) -> Option<f64> {
-        assert!(index < self.frequencies.len(), "frequency index out of range");
+        assert!(
+            index < self.frequencies.len(),
+            "frequency index out of range"
+        );
         self.freq_index = index;
         let completion = self.server.set_phi(self.phi(), now);
         self.refresh_power(now);
@@ -351,12 +354,7 @@ mod tests {
     use super::*;
 
     fn computer() -> Computer {
-        Computer::new(
-            vec![6.0e8, 1.2e9],
-            1.0,
-            PowerModel::paper_default(),
-            120.0,
-        )
+        Computer::new(vec![6.0e8, 1.2e9], 1.0, PowerModel::paper_default(), 120.0)
     }
 
     #[test]
@@ -396,7 +394,10 @@ mod tests {
     #[test]
     fn off_computer_rejects() {
         let mut c = computer();
-        assert_eq!(c.offer(Request::new(1, 0.0, 0.01), 0.0), Admission::Rejected);
+        assert_eq!(
+            c.offer(Request::new(1, 0.0, 0.01), 0.0),
+            Admission::Rejected
+        );
     }
 
     #[test]
@@ -404,10 +405,16 @@ mod tests {
         let mut c = computer();
         c.power_on(0.0);
         c.finish_boot(120.0);
-        assert_eq!(c.offer(Request::new(1, 120.0, 1.0), 120.0), Admission::Started);
+        assert_eq!(
+            c.offer(Request::new(1, 120.0, 1.0), 120.0),
+            Admission::Started
+        );
         c.power_off(120.5);
         assert_eq!(c.state(), PowerState::Draining);
-        assert_eq!(c.offer(Request::new(2, 120.6, 1.0), 120.6), Admission::Rejected);
+        assert_eq!(
+            c.offer(Request::new(2, 120.6, 1.0), 120.6),
+            Admission::Rejected
+        );
         let done = c.complete(121.0);
         assert_eq!(done.id, 1);
         assert_eq!(c.state(), PowerState::Off);
@@ -492,12 +499,7 @@ mod tests {
 
     #[test]
     fn infinite_boot_delay_never_ready() {
-        let mut c = Computer::new(
-            vec![1.0e9],
-            1.0,
-            PowerModel::paper_default(),
-            f64::INFINITY,
-        );
+        let mut c = Computer::new(vec![1.0e9], 1.0, PowerModel::paper_default(), f64::INFINITY);
         let ready = c.power_on(0.0).unwrap();
         assert!(ready.is_infinite(), "failed machine never boots");
     }

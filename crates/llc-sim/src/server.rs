@@ -225,7 +225,10 @@ mod tests {
         s.enqueue(req(2, 0.0, 1.0), 0.0);
         s.enqueue(req(3, 0.0, 1.0), 0.0);
         let drained = s.drain();
-        assert_eq!(drained.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            drained.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(s.queue_length(), 0);
     }
 

@@ -103,7 +103,10 @@ mod tests {
             assert!(t.count(k + 1) >= t.count(k), "rise must be monotone at {k}");
         }
         for k in 6..39 {
-            assert!(t.count(k + 1) <= t.count(k) + 1e-9, "decay must be monotone at {k}");
+            assert!(
+                t.count(k + 1) <= t.count(k) + 1e-9,
+                "decay must be monotone at {k}"
+            );
         }
     }
 }

@@ -54,8 +54,7 @@ impl LocalityModel {
         let d = self.distance.sample(rng);
         let depth = d.floor() as usize;
         let object = if depth < self.stack.len() {
-            let obj = self.stack.remove(depth).expect("depth checked");
-            obj
+            self.stack.remove(depth).expect("depth checked")
         } else {
             store.sample_object(rng)
         };

@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn shape_eval_sums_humps() {
         let s = DiurnalShape::new(100.0).with_hump(50.0, 10.0, 5.0);
-        assert!((s.eval(10.0) - 150.0).abs() < 1e-9, "peak = baseline + amplitude");
+        assert!(
+            (s.eval(10.0) - 150.0).abs() < 1e-9,
+            "peak = baseline + amplitude"
+        );
         assert!(s.eval(0.0) < 150.0 && s.eval(0.0) >= 100.0);
         // Far from the hump, only the baseline remains.
         assert!((s.eval(1000.0) - 100.0).abs() < 1e-6);
@@ -204,9 +207,7 @@ mod tests {
             .with_hump(3000.0, 800.0, 300.0);
         let clean = SyntheticBuilder::new(shape, 1600, 120.0).build(0);
         let seg_var = |a: usize, b: usize| {
-            let diffs: Vec<f64> = (a..b)
-                .map(|k| noisy.count(k) - clean.count(k))
-                .collect();
+            let diffs: Vec<f64> = (a..b).map(|k| noisy.count(k) - clean.count(k)).collect();
             let m = diffs.iter().sum::<f64>() / diffs.len() as f64;
             diffs.iter().map(|d| (d - m).powi(2)).sum::<f64>() / diffs.len() as f64
         };
@@ -217,7 +218,10 @@ mod tests {
             "variance must grow between segment 1 ({v1:.0}) and segment 3 ({v3:.0})"
         );
         // Absolute level: segment 1 should be near 200 · (120/30) = 800.
-        assert!((v1 - 800.0).abs() / 800.0 < 0.35, "segment-1 variance {v1:.0}");
+        assert!(
+            (v1 - 800.0).abs() / 800.0 < 0.35,
+            "segment-1 variance {v1:.0}"
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 use crate::{derive_seed, Gaussian};
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors from trace construction and I/O.
@@ -62,7 +61,9 @@ impl std::error::Error for TraceError {}
 /// binaries (the paper plots HTTP requests "at 2-minute intervals") and
 /// the experiment driver, which spreads each bucket into individual
 /// arrival instants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// CSV (`to_csv`/`from_csv`) is the wire format; the build environment has
+// no registry access for serde, whose derives were unused here.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     interval: f64,
     counts: Vec<f64>,
@@ -75,7 +76,7 @@ impl Trace {
     ///
     /// [`TraceError::InvalidInterval`] / [`TraceError::InvalidCount`].
     pub fn new(interval: f64, counts: Vec<f64>) -> Result<Self, TraceError> {
-        if !(interval > 0.0) || !interval.is_finite() {
+        if interval <= 0.0 || !interval.is_finite() {
             return Err(TraceError::InvalidInterval(interval));
         }
         for (index, &value) in counts.iter().enumerate() {
@@ -173,7 +174,10 @@ impl Trace {
     /// Panics if the range is out of bounds or inverted.
     #[must_use]
     pub fn slice(&self, start: usize, end: usize) -> Trace {
-        assert!(start <= end && end <= self.counts.len(), "invalid slice range");
+        assert!(
+            start <= end && end <= self.counts.len(),
+            "invalid slice range"
+        );
         Trace {
             interval: self.interval,
             counts: self.counts[start..end].to_vec(),
@@ -191,7 +195,10 @@ impl Trace {
     ///
     /// Panics if the range is invalid or `std_dev < 0`.
     pub fn add_gaussian_noise(&mut self, start: usize, end: usize, std_dev: f64, seed: u64) {
-        assert!(start <= end && end <= self.counts.len(), "invalid noise range");
+        assert!(
+            start <= end && end <= self.counts.len(),
+            "invalid noise range"
+        );
         let g = Gaussian::new(0.0, std_dev);
         let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, start as u64));
         for c in &mut self.counts[start..end] {
@@ -208,7 +215,7 @@ impl Trace {
     /// [`TraceError::IncompatibleInterval`] when the ratio is not integral
     /// either way.
     pub fn rebucket(&self, new_interval: f64) -> Result<Trace, TraceError> {
-        if !(new_interval > 0.0) || !new_interval.is_finite() {
+        if new_interval <= 0.0 || !new_interval.is_finite() {
             return Err(TraceError::InvalidInterval(new_interval));
         }
         let ratio = new_interval / self.interval;

@@ -5,8 +5,8 @@
 //! Run with `cargo run --release -p llc-examples --bin baseline_comparison`.
 
 use llc_cluster::{
-    single_module, AlwaysMaxPolicy, ClusterPolicy, Experiment, HierarchicalPolicy,
-    ThresholdConfig, ThresholdPolicy,
+    single_module, AlwaysMaxPolicy, ClusterPolicy, Experiment, HierarchicalPolicy, ThresholdConfig,
+    ThresholdPolicy,
 };
 use llc_workload::{synthetic_paper_workload, VirtualStore};
 

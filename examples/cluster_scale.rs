@@ -31,10 +31,9 @@ fn main() {
     for chunk in log.ticks.chunks(120) {
         let tick0 = chunk[0].tick;
         let time_h = chunk[0].time / 3600.0;
-        let rate: f64 = chunk.iter().map(|t| t.arrivals as f64).sum::<f64>()
-            / (chunk.len() as f64 * 30.0);
-        let active: f64 =
-            chunk.iter().map(|t| t.active as f64).sum::<f64>() / chunk.len() as f64;
+        let rate: f64 =
+            chunk.iter().map(|t| t.arrivals as f64).sum::<f64>() / (chunk.len() as f64 * 30.0);
+        let active: f64 = chunk.iter().map(|t| t.active as f64).sum::<f64>() / chunk.len() as f64;
         let gamma = gammas
             .iter()
             .rev()
@@ -52,7 +51,10 @@ fn main() {
     let s = log.summary();
     let overhead = policy.overhead();
     println!("\nsummary:");
-    println!("  mean response:      {:.2} s (target 4 s)", s.mean_response);
+    println!(
+        "  mean response:      {:.2} s (target 4 s)",
+        s.mean_response
+    );
     println!("  energy:             {:.0} power·s", s.total_energy);
     println!("  switch-ons:         {}", s.total_switch_ons);
     println!(

@@ -30,10 +30,9 @@ fn main() {
     println!("{}", "-".repeat(56));
     for chunk in log.ticks.chunks(120) {
         let time_h = chunk[0].time / 3600.0;
-        let rate: f64 = chunk.iter().map(|t| t.arrivals as f64).sum::<f64>()
-            / (chunk.len() as f64 * 30.0);
-        let active: f64 =
-            chunk.iter().map(|t| t.active as f64).sum::<f64>() / chunk.len() as f64;
+        let rate: f64 =
+            chunk.iter().map(|t| t.arrivals as f64).sum::<f64>() / (chunk.len() as f64 * 30.0);
+        let active: f64 = chunk.iter().map(|t| t.active as f64).sum::<f64>() / chunk.len() as f64;
         let resp: Vec<f64> = chunk.iter().filter_map(|t| t.mean_response).collect();
         let mean_resp = resp.iter().sum::<f64>() / resp.len().max(1) as f64;
         println!("{time_h:4.1} | {rate:5.0} | {active:12.1} | {mean_resp:.2}");
@@ -43,7 +42,10 @@ fn main() {
     println!("\nsummary:");
     println!("  policy:          {}", s.policy);
     println!("  mean response:   {:.2} s (target 4 s)", s.mean_response);
-    println!("  violations:      {:.1}% of windows", s.violation_fraction * 100.0);
+    println!(
+        "  violations:      {:.1}% of windows",
+        s.violation_fraction * 100.0
+    );
     println!("  energy:          {:.0} power·s", s.total_energy);
     println!("  switch-ons:      {}", s.total_switch_ons);
     println!("  dropped:         {}", s.total_dropped);

@@ -5,6 +5,7 @@
 use llc_cluster::{single_module, Experiment, HierarchicalPolicy};
 use llc_workload::{synthetic_paper_workload, Trace, VirtualStore};
 
+#[allow(clippy::type_complexity)] // (completions, responses, energy, active history)
 fn run_once(seed: u64) -> (Vec<u64>, Vec<Option<f64>>, f64, Vec<(u64, usize)>) {
     let scenario = single_module(4).with_coarse_learning();
     let mut policy = HierarchicalPolicy::build(&scenario);
@@ -28,7 +29,10 @@ fn same_seed_reproduces_exactly() {
     assert_eq!(a.0, b.0, "completions differ between identical runs");
     assert_eq!(a.1, b.1, "responses differ between identical runs");
     assert_eq!(a.2, b.2, "energy differs between identical runs");
-    assert_eq!(a.3, b.3, "controller decisions differ between identical runs");
+    assert_eq!(
+        a.3, b.3,
+        "controller decisions differ between identical runs"
+    );
 }
 
 #[test]

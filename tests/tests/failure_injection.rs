@@ -27,7 +27,10 @@ fn machine_that_never_boots_does_not_sink_requests() {
         .unwrap();
     let s = log.summary();
 
-    assert_eq!(s.total_dropped, 0, "no requests may be lost to the dead machine");
+    assert_eq!(
+        s.total_dropped, 0,
+        "no requests may be lost to the dead machine"
+    );
     // The cluster still completes the work with the healthy machines
     // (cold-start transient aside).
     assert!(
@@ -65,7 +68,11 @@ fn dead_machine_keeps_zero_queue() {
     // power cycling strands it in Booting forever).
     for t in &log.ticks {
         if !t.active_flags[1] {
-            assert_eq!(t.queues[1], 0, "tick {}: dead machine hoards requests", t.tick);
+            assert_eq!(
+                t.queues[1], 0,
+                "tick {}: dead machine hoards requests",
+                t.tick
+            );
         }
     }
     assert_eq!(log.summary().total_dropped, 0);

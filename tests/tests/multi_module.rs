@@ -45,7 +45,11 @@ fn two_module_cluster_meets_target_under_moderate_load() {
 fn l2_splits_always_sum_to_one() {
     let scenario = small_cluster();
     let mut policy = HierarchicalPolicy::build(&scenario);
-    let trace = wc98_like_fig6(3).slice(0, 40).rebucket(30.0).unwrap().scaled(0.4);
+    let trace = wc98_like_fig6(3)
+        .slice(0, 40)
+        .rebucket(30.0)
+        .unwrap()
+        .scaled(0.4);
     let store = VirtualStore::paper_default(22);
     let _ = Experiment::paper_default(22)
         .run(scenario.to_sim_config(), &mut policy, &trace, &store)
@@ -53,10 +57,7 @@ fn l2_splits_always_sum_to_one() {
     assert!(!policy.gamma_module_history().is_empty());
     for (tick, gamma) in policy.gamma_module_history() {
         let total: f64 = gamma.iter().sum();
-        assert!(
-            (total - 1.0).abs() < 1e-9,
-            "tick {tick}: γ sums to {total}"
-        );
+        assert!((total - 1.0).abs() < 1e-9, "tick {tick}: γ sums to {total}");
         assert!(gamma.iter().all(|&g| g >= -1e-12));
     }
 }

@@ -26,8 +26,7 @@ fn run_with_budget(budget: Option<f64>) -> (f64, f64, f64) {
 
 #[test]
 fn power_budget_caps_mean_power() {
-    let (unconstrained_energy, unconstrained_resp, unconstrained_power) =
-        run_with_budget(None);
+    let (unconstrained_energy, unconstrained_resp, unconstrained_power) = run_with_budget(None);
     // A cap well below the unconstrained draw. Note: three machines at
     // *low* frequency may satisfy it — the budget binds power, not
     // machine count.

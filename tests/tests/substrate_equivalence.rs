@@ -1,0 +1,117 @@
+//! Substrate equivalence: the dense grid and the legacy hash table must
+//! be indistinguishable through every query — identical entries at every
+//! trained point, and identical clamped answers for fuzzed off-grid
+//! queries — both at the raw `llc-approx` level and through the
+//! `AbstractionMap` (whose out-of-grid hybrid replays the analytic model
+//! on both substrates).
+
+use llc_approx::{train_dense, train_table, GridSampler};
+use llc_cluster::{AbstractionMap, L0Config, LearnSpec, MapBackend};
+use rand::{Rng, SeedableRng};
+
+fn fuzz_queries(rng: &mut rand::rngs::StdRng, dims: &[(f64, f64)], n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            dims.iter()
+                .map(|&(lo, hi)| {
+                    let w = hi - lo;
+                    // Span well past both edges so clamping is exercised.
+                    rng.gen_range(lo - 0.8 * w..hi + 0.8 * w)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn raw_tables_agree_on_trained_points_and_fuzzed_queries() {
+    // Deliberately awkward bounds: non-zero offsets and step counts whose
+    // floating-point spacing rounds unevenly, so cell collisions and
+    // holes (the failure mode the slot tables exist for) actually occur.
+    let samplers = [
+        GridSampler::new(vec![(0.0, 104.76, 24), (0.0105, 0.028, 5), (0.0, 150.0, 6)]),
+        GridSampler::new(vec![(0.3, 7.7, 13), (1.0, 1.0001, 1)]),
+        GridSampler::new(vec![(-5.0, 5.0, 21)]),
+    ];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE051);
+    for (si, sampler) in samplers.iter().enumerate() {
+        let f = |p: &[f64]| {
+            p.iter()
+                .enumerate()
+                .map(|(i, &v)| v * (i as f64 + 1.5))
+                .sum::<f64>()
+        };
+        let hash = train_table(sampler, &sampler.cell_steps(), f);
+        let dense = train_dense(sampler, f);
+        assert_eq!(hash.len(), dense.len(), "sampler {si}: trained cell count");
+
+        // Every trained point answers identically (and exactly).
+        for p in sampler.points() {
+            let h = hash.get_exact(&p).expect("trained point present");
+            let d = dense.get_clamped(&p);
+            assert_eq!(
+                h.to_bits(),
+                d.to_bits(),
+                "sampler {si}: trained point {p:?}"
+            );
+        }
+
+        // Fuzzed queries — inside, outside and straddling the grid —
+        // answer identically through the robust paths.
+        let dims: Vec<(f64, f64)> = (0..sampler.num_dims())
+            .map(|d| {
+                let (lo, hi, _) = sampler.dim(d);
+                (lo, hi)
+            })
+            .collect();
+        for q in fuzz_queries(&mut rng, &dims, 4000) {
+            let h = hash.get(&q).expect("non-empty table");
+            let d = dense.get_clamped(&q);
+            assert_eq!(h.to_bits(), d.to_bits(), "sampler {si}: query {q:?}");
+        }
+    }
+}
+
+#[test]
+fn abstraction_map_backends_agree_everywhere() {
+    let l0 = L0Config::paper_default();
+    let phis = vec![0.25, 0.5, 0.75, 1.0];
+    let c_range = (0.0105, 0.028);
+    let (lambda_max, q_max) = (110.0, 150.0);
+    let build = |backend| {
+        AbstractionMap::learn_with_backend(
+            &l0,
+            &phis,
+            c_range,
+            lambda_max,
+            q_max,
+            LearnSpec::coarse(),
+            backend,
+        )
+    };
+    let dense = build(MapBackend::Dense);
+    let hash = build(MapBackend::Hash);
+    assert_eq!(dense.len(), hash.len());
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    for _ in 0..3000 {
+        // λ and q intentionally overflow the grid ~30 % of the time: the
+        // hybrid must replay the analytic model identically either way.
+        let lambda = rng.gen_range(0.0..lambda_max * 1.4);
+        let c = rng.gen_range(c_range.0 * 0.3..c_range.1 * 1.8);
+        let q = rng.gen_range(0.0..q_max * 1.4);
+        let d = dense.query(lambda, c, q);
+        let h = hash.query(lambda, c, q);
+        assert_eq!(
+            (d.cost.to_bits(), d.power.to_bits(), d.final_q.to_bits()),
+            (h.cost.to_bits(), h.power.to_bits(), h.final_q.to_bits()),
+            "query λ={lambda} c={c} q={q}"
+        );
+    }
+
+    // Repeated out-of-grid queries stay identical once the dense
+    // substrate's replay cache is warm.
+    let d1 = dense.query(lambda_max * 1.2, 0.0175, q_max * 1.3);
+    let d2 = dense.query(lambda_max * 1.2, 0.0175, q_max * 1.3);
+    assert_eq!(d1.cost.to_bits(), d2.cost.to_bits());
+}
