@@ -1,10 +1,15 @@
-use crate::{GridSampler, LookupTable, Quantizer};
+use crate::{Blend, BlendConfig, GridSampler, LookupTable, Quantizer};
 
-/// Read side of a trained cost map: the common surface of the dense-grid
-/// and hash-table substrates, so controllers can stay substrate-agnostic.
+/// The common surface of the dense-grid and hash-table substrates, so
+/// controllers can stay substrate-agnostic: robust reads plus the online
+/// (incremental) update path.
 ///
 /// `probe` answers the *robust* query (clamped into the trained region),
-/// returning `None` only when nothing has been trained.
+/// returning `None` only when nothing has been trained. `update` is the
+/// §6-outlook write path: blend the cell a realized outcome landed in
+/// toward that outcome, so the map self-corrects under drift without an
+/// offline retraining pass. The substrates differ on never-trained keys —
+/// see each implementation.
 pub trait CostMap<V> {
     /// Number of key dimensions.
     fn num_dims(&self) -> usize;
@@ -17,6 +22,21 @@ pub trait CostMap<V> {
     /// Robust lookup for the cell containing `point`, clamping
     /// out-of-region queries to the trained boundary.
     fn probe(&self, point: &[f64]) -> Option<&V>;
+    /// Blend the cell containing `point` toward an observed `target`
+    /// outcome, with the weight from `cfg` and the cell's accumulated
+    /// confidence. Returns the weight actually applied — `0.0` when the
+    /// observation was skipped (see each substrate's out-of-region
+    /// policy), `1.0` when it replaced the cell outright.
+    fn update(&mut self, point: &[f64], target: &V, cfg: &BlendConfig) -> f64
+    where
+        V: Blend;
+    /// Staleness sweep: multiply every cell's online confidence count by
+    /// `factor ∈ [0, 1]`, so cells that stop being visited become quick
+    /// to re-adapt when traffic returns to them.
+    fn decay_confidence(&mut self, factor: f64);
+    /// Online observations currently credited to the cell containing
+    /// `point` (0.0 for never-updated or out-of-region cells).
+    fn confidence(&self, point: &[f64]) -> f64;
 }
 
 impl<V: Clone> CostMap<V> for LookupTable<V> {
@@ -28,6 +48,23 @@ impl<V: Clone> CostMap<V> for LookupTable<V> {
     }
     fn probe(&self, point: &[f64]) -> Option<&V> {
         self.get(point)
+    }
+    /// Insert-or-blend: a key whose cell already exists blends toward the
+    /// target; a never-trained cell (inside a hole, or beyond the trained
+    /// ranges) is *inserted* at full weight — the hash substrate grows
+    /// its coverage from observed traffic, which is what makes it the
+    /// natural home for online learning over sparse or ragged domains.
+    fn update(&mut self, point: &[f64], target: &V, cfg: &BlendConfig) -> f64
+    where
+        V: Blend,
+    {
+        LookupTable::update(self, point, target, cfg)
+    }
+    fn decay_confidence(&mut self, factor: f64) {
+        LookupTable::decay_confidence(self, factor);
+    }
+    fn confidence(&self, point: &[f64]) -> f64 {
+        LookupTable::confidence(self, point)
     }
 }
 
@@ -68,7 +105,7 @@ struct DenseDim {
 /// space, so a probe is per-axis clamp + slot arithmetic over flat
 /// storage. Cell collisions and holes from floating-point boundary
 /// rounding are folded into per-axis slot tables at training time (see
-/// [`DenseDim`]), reproducing the hash table's overwrite and
+/// `DenseDim`), reproducing the hash table's overwrite and
 /// nearest-neighbor behavior exactly — the substrate-equivalence test
 /// holds the two substrates to identical answers on every query.
 ///
@@ -78,6 +115,9 @@ struct DenseDim {
 pub struct DenseGrid<V> {
     dims: Vec<DenseDim>,
     values: Vec<V>,
+    /// Online observations absorbed per value slot (0.0 = offline prior
+    /// only). Shrunk by the staleness sweep so idle cells re-adapt fast.
+    confidence: Vec<f64>,
 }
 
 impl<V: Send> DenseGrid<V> {
@@ -158,6 +198,7 @@ impl<V: Send> DenseGrid<V> {
                 .into_iter()
                 .map(|slot| slot.expect("full grid fills every slot"))
                 .collect(),
+            confidence: vec![0.0; volume],
         }
     }
 }
@@ -247,6 +288,40 @@ impl<V> CostMap<V> for DenseGrid<V> {
             Some(self.get_clamped(point))
         }
     }
+    /// In-box blending only: an outcome observed *outside* the trained
+    /// box is dropped (weight 0.0) rather than blended into the edge cell
+    /// it would clamp to — edge cells answer every clamped query, so
+    /// corrupting them with out-of-region outcomes would poison the whole
+    /// overload tail. The grid cannot grow; out-of-region adaptation is
+    /// the hash substrate's trade (see `LookupTable`).
+    fn update(&mut self, point: &[f64], target: &V, cfg: &BlendConfig) -> f64
+    where
+        V: Blend,
+    {
+        if self.values.is_empty() || !self.contains(point) {
+            return 0.0;
+        }
+        let idx = self.index_of(point);
+        let w = cfg.weight(self.confidence[idx]);
+        self.values[idx].blend(target, w);
+        self.confidence[idx] += 1.0;
+        w
+    }
+    /// Batched over `llc-par`: the counters are one flat slab, so the
+    /// sweep splits into disjoint chunks (bit-identical to the serial
+    /// loop) — cheap enough to run every few control periods even on
+    /// production-sized grids.
+    fn decay_confidence(&mut self, factor: f64) {
+        let factor = factor.clamp(0.0, 1.0);
+        llc_par::par_for_each_mut(&mut self.confidence, |c| *c *= factor);
+    }
+    fn confidence(&self, point: &[f64]) -> f64 {
+        if self.values.is_empty() || !self.contains(point) {
+            0.0
+        } else {
+            self.confidence[self.index_of(point)]
+        }
+    }
 }
 
 #[cfg(test)]
@@ -327,5 +402,51 @@ mod tests {
     fn wrong_key_length_panics() {
         let (_, grid) = grid_2d();
         let _ = grid.get_clamped(&[1.0]);
+    }
+
+    #[test]
+    fn update_blends_toward_target_with_confidence() {
+        let (_, mut grid) = grid_2d();
+        let cfg = BlendConfig::new(0.25, 3.0);
+        let p = [2.0, 20.0];
+        let before = *grid.get_clamped(&p);
+        // Fresh cell: w = 1 / (3 + 0 + 1) = 0.25.
+        let w = grid.update(&p, &1000.0, &cfg);
+        assert!((w - 0.25).abs() < 1e-12);
+        let after = *grid.get_clamped(&p);
+        assert!((after - (before + 0.25 * (1000.0 - before))).abs() < 1e-9);
+        assert_eq!(CostMap::confidence(&grid, &p), 1.0);
+        // Repeated updates converge onto the target.
+        for _ in 0..60 {
+            grid.update(&p, &1000.0, &cfg);
+        }
+        assert!((grid.get_clamped(&p) - 1000.0).abs() < 1e-3);
+        // Other cells untouched.
+        assert_eq!(*grid.get_clamped(&[0.0, 10.0]), 10.0);
+    }
+
+    #[test]
+    fn out_of_box_update_is_dropped() {
+        let (_, mut grid) = grid_2d();
+        let edge_before = *grid.get_clamped(&[100.0, 99.0]);
+        let w = grid.update(&[100.0, 99.0], &1e9, &BlendConfig::default());
+        assert_eq!(w, 0.0, "out-of-box outcomes must not corrupt edge cells");
+        assert_eq!(*grid.get_clamped(&[100.0, 99.0]), edge_before);
+        assert_eq!(CostMap::confidence(&grid, &[100.0, 99.0]), 0.0);
+    }
+
+    #[test]
+    fn decay_shrinks_confidence() {
+        let (_, mut grid) = grid_2d();
+        let cfg = BlendConfig::default();
+        let p = [1.0, 10.0];
+        for _ in 0..4 {
+            grid.update(&p, &5.0, &cfg);
+        }
+        assert_eq!(CostMap::confidence(&grid, &p), 4.0);
+        grid.decay_confidence(0.5);
+        assert!((CostMap::confidence(&grid, &p) - 2.0).abs() < 1e-12);
+        grid.decay_confidence(0.0);
+        assert_eq!(CostMap::confidence(&grid, &p), 0.0);
     }
 }

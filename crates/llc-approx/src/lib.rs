@@ -18,7 +18,12 @@
 //!   grids ([`GridSampler`], [`train_table`], [`train_tree`]);
 //! * the decision variables γ (load fractions) live on a quantized
 //!   probability simplex ([`SimplexGrid`]: enumeration and neighborhood
-//!   moves at quantum 0.05 / 0.1 as in the experiments).
+//!   moves at quantum 0.05 / 0.1 as in the experiments);
+//! * both map substrates also take **online (incremental) updates** —
+//!   [`CostMap::update`] blends realized outcomes into the trained cells
+//!   under a confidence-weighted learning rate ([`BlendConfig`]), the
+//!   paper's §6 drift-handling outlook: dense grids blend in place,
+//!   hash tables insert-or-blend and grow their coverage.
 //!
 //! # Example
 //!
@@ -41,6 +46,7 @@
 
 mod dense;
 mod learn;
+mod online;
 mod quantize;
 mod regtree;
 mod simplex;
@@ -48,6 +54,7 @@ mod table;
 
 pub use dense::{CostMap, DenseGrid};
 pub use learn::{train_dense, train_table, train_tree, GridSampler};
+pub use online::{Blend, BlendConfig};
 pub use quantize::Quantizer;
 pub use regtree::{RegressionTree, TreeConfig, TreeError};
 pub use simplex::SimplexGrid;

@@ -2,13 +2,19 @@
 //! offline learning pipeline (shared maps + parallel fan-out) vs the
 //! seed's serial clone-per-point baseline. Emits machine-readable
 //! `BENCH_substrate.json` at the workspace root so future PRs can track
-//! the trend. Pass `--quick` for a fast smoke run (coarse grids, no JSON).
+//! the trend. Pass `--quick` for a fast smoke run (coarse grids, no
+//! JSON). Pass `--check` for the CI regression gate: measure at full
+//! grid resolution (coarse grids change the hash/dense *ratios*, so
+//! quick numbers are not comparable to the committed baselines) but with
+//! reduced timing iterations, then fail if any probe/learn/decide
+//! speedup regresses more than 20% below the committed
+//! `BENCH_substrate.json`.
 
 use llc_bench::microbench;
-use llc_bench::report::quick_mode;
+use llc_bench::report::{check_mode, gate_ratio, json_number, quick_mode};
 use llc_cluster::{
-    AbstractionMap, ComputerProfile, FrequencyProfile, L0Config, L1Config, L1Controller, LearnSpec,
-    MapBackend, MemberSpec, ModuleCostModel, ModuleLearnSpec,
+    AbstractionMap, FrequencyProfile, L0Config, L1Config, L1Controller, LearnSpec, MapBackend,
+    MemberSpec, ModuleCostModel, ModuleLearnSpec,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -17,27 +23,12 @@ use std::time::Instant;
 fn member_specs(m: usize) -> Vec<MemberSpec> {
     let profiles = FrequencyProfile::module_set();
     (0..m)
-        .map(|j| {
-            let cp = ComputerProfile::paper_default(profiles[j % 4]);
-            MemberSpec {
-                phis: cp.phis(),
-                speed: cp.speed,
-                c_prior: 0.0175 / cp.speed,
-            }
-        })
+        .map(|j| MemberSpec::paper_default(profiles[j % 4]))
         .collect()
 }
 
 fn learn_map(spec: &MemberSpec, learn: LearnSpec, backend: MapBackend) -> AbstractionMap {
-    AbstractionMap::learn_with_backend(
-        &L0Config::paper_default(),
-        &spec.phis,
-        (spec.c_prior * 0.6, spec.c_prior * 1.6),
-        2.0 / (spec.c_prior * 0.6),
-        200.0,
-        learn,
-        backend,
-    )
+    AbstractionMap::learn_for_member(&L0Config::paper_default(), spec, learn, backend)
 }
 
 /// Deterministic query mix over (λ, ĉ, q): ~70 % inside the trained grid,
@@ -128,7 +119,12 @@ fn simulate_module_baseline(
 }
 
 fn main() {
-    let quick = quick_mode();
+    let check = check_mode();
+    // The gate compares speedup *ratios* against the committed full-run
+    // baselines, so it must keep full grid resolution; `--quick` alone
+    // (no gate) keeps its coarse smoke grids.
+    let quick = quick_mode() && !check;
+    let short_iters = quick_mode() || check;
     let threads = llc_par::num_threads();
     let learn_spec = if quick {
         LearnSpec::coarse()
@@ -142,13 +138,13 @@ fn main() {
     };
     let members = member_specs(4);
     let l1_config = L1Config::paper_default();
-    println!("substrate benchmark (threads = {threads}, quick = {quick})");
+    println!("substrate benchmark (threads = {threads}, quick = {quick}, check = {check})");
 
     // --- Probes: hash table vs dense grid over the same trained map. ---
     let hash_map = learn_map(&members[0], learn_spec, MapBackend::Hash);
     let dense_map = learn_map(&members[0], learn_spec, MapBackend::Dense);
-    let queries = query_points(&members[0], if quick { 20_000 } else { 200_000 });
-    let probe_iters = if quick { 5 } else { 10 };
+    let queries = query_points(&members[0], if short_iters { 50_000 } else { 200_000 });
+    let probe_iters = if short_iters { 5 } else { 10 };
 
     let hash_ns = microbench::bench(
         "probe: LookupTable (hash) warm single map",
@@ -301,7 +297,7 @@ fn main() {
     }
     let queues = vec![3usize; 4];
     let active = vec![true; 4];
-    let decide_iters = if quick { 40 } else { 400 };
+    let decide_iters = if short_iters { 40 } else { 400 };
     let hash_decide_ns = microbench::bench("decide: L1 over hash maps", decide_iters, || {
         black_box(l1_hash.decide(black_box(&queues), black_box(&active)));
     });
@@ -311,6 +307,35 @@ fn main() {
     let decide_speedup = hash_decide_ns / dense_decide_ns;
     println!("decide speedup: {decide_speedup:.1}x");
 
+    if check {
+        let committed = std::fs::read_to_string("BENCH_substrate.json")
+            .expect("--check needs the committed BENCH_substrate.json at the workspace root");
+        let mut failures = Vec::new();
+        for (label, section, measured) in [
+            ("probe speedup", "probes", probe_speedup),
+            (
+                "offline-learning speedup",
+                "offline_learning",
+                learn_speedup,
+            ),
+            ("l1-decide speedup", "l1_decide", decide_speedup),
+        ] {
+            let baseline = json_number(&committed, section, "speedup").unwrap_or_else(|| {
+                panic!("no \"{section}\".speedup in committed BENCH_substrate.json")
+            });
+            if let Err(e) = gate_ratio(label, measured, baseline, 0.2) {
+                failures.push(e);
+            }
+        }
+        if failures.is_empty() {
+            println!("bench gate passed: all substrate speedups within 20% of baseline");
+            return;
+        }
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
     if quick {
         println!("(quick mode: BENCH_substrate.json not rewritten)");
         return;

@@ -118,9 +118,78 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var_os("LLC_QUICK").is_some()
 }
 
+/// `--check` flag: regression-gate mode — compare fresh measurements
+/// against the committed baseline JSON and exit non-zero on regression
+/// instead of rewriting the file.
+pub fn check_mode() -> bool {
+    std::env::args().any(|a| a == "--check")
+}
+
+/// Read the number at `"key":` inside the `"section": { … }` object of
+/// one of this repo's hand-written benchmark reports.
+///
+/// This is *not* a JSON parser — it is the minimal extractor the
+/// registry-less build can afford (no serde), sufficient for the flat
+/// two-level objects `bench_substrate`/`bench_online` emit: find the
+/// section name, then the first occurrence of the key after it, then
+/// parse the literal that follows the colon.
+pub fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
+    let sect = format!("\"{section}\"");
+    let rest = &text[text.find(&sect)? + sect.len()..];
+    let needle = format!("\"{key}\"");
+    let rest = &rest[rest.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One gate comparison: fail (return an error line) when `measured`
+/// falls more than `tolerance` (fractional) below `baseline`.
+pub fn gate_ratio(label: &str, measured: f64, baseline: f64, tolerance: f64) -> Result<(), String> {
+    let floor = baseline * (1.0 - tolerance);
+    if measured < floor {
+        Err(format!(
+            "REGRESSION {label}: measured {measured:.2} < floor {floor:.2} \
+             (baseline {baseline:.2}, tolerance {:.0}%)",
+            tolerance * 100.0
+        ))
+    } else {
+        println!(
+            "gate ok  {label}: measured {measured:.2} >= floor {floor:.2} (baseline {baseline:.2})"
+        );
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_number_reads_nested_keys() {
+        let text = r#"{
+  "threads": 4,
+  "probes": { "speedup": 36.81, "hash_ns_per_probe": 1042.48 },
+  "l1_decide": { "speedup": 24.90 }
+}"#;
+        assert_eq!(json_number(text, "probes", "speedup"), Some(36.81));
+        assert_eq!(json_number(text, "l1_decide", "speedup"), Some(24.9));
+        assert_eq!(
+            json_number(text, "probes", "hash_ns_per_probe"),
+            Some(1042.48)
+        );
+        assert_eq!(json_number(text, "nope", "speedup"), None);
+        assert_eq!(json_number(text, "probes", "nope"), None);
+    }
+
+    #[test]
+    fn gate_ratio_flags_regression_only() {
+        assert!(gate_ratio("x", 10.0, 10.0, 0.2).is_ok());
+        assert!(gate_ratio("x", 8.01, 10.0, 0.2).is_ok());
+        assert!(gate_ratio("x", 7.9, 10.0, 0.2).is_err());
+    }
 
     #[test]
     fn plot_renders_bounds_and_glyphs() {

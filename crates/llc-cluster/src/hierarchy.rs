@@ -81,17 +81,11 @@ impl HierarchicalPolicy {
         // the L1 controllers instead of deep-cloned per consumer.
         let flat_specs: Vec<&MemberSpec> = specs.iter().flatten().collect();
         let flat_maps: Vec<Arc<AbstractionMap>> = llc_par::par_map(&flat_specs, |m| {
-            // λ grid reaches 2× the capacity at the *fastest* service
-            // time in range so the overload knee is always inside the
-            // trained surface (extrapolation beyond the grid then
-            // continues an already-overloaded slope).
-            Arc::new(AbstractionMap::learn(
+            Arc::new(AbstractionMap::learn_for_member(
                 &scenario.l0,
-                &m.phis,
-                (m.c_prior * 0.6, m.c_prior * 1.6),
-                2.0 / (m.c_prior * 0.6),
-                200.0,
+                m,
                 scenario.learn,
+                crate::MapBackend::Dense,
             ))
         });
         let mut flat_maps = flat_maps.into_iter();

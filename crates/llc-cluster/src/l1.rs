@@ -1,8 +1,9 @@
 use crate::{L0Config, L0Controller};
 use llc_approx::{
-    train_dense, train_table, CostMap, DenseGrid, GridSampler, LookupTable, SimplexGrid,
+    train_dense, train_table, Blend, BlendConfig, CostMap, DenseGrid, GridSampler, LookupTable,
+    SimplexGrid,
 };
-use llc_core::{BoundedSearch, UncertaintyBand};
+use llc_core::{BoundedSearch, ObservationLog, OnlineConfig, UncertaintyBand};
 use llc_forecast::{Ewma, Forecaster, LocalLinearTrend};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -17,6 +18,16 @@ pub struct GEntry {
     pub power: f64,
     /// Queue length at the end of the L1 period.
     pub final_q: f64,
+}
+
+impl Blend for GEntry {
+    /// Component-wise exponential blend: cost, power and end-queue all
+    /// drift toward the observed outcome at the same rate.
+    fn blend(&mut self, target: &Self, w: f64) {
+        self.cost.blend(&target.cost, w);
+        self.power.blend(&target.power, w);
+        self.final_q.blend(&target.final_q, w);
+    }
 }
 
 /// Which lookup substrate backs an [`AbstractionMap`].
@@ -53,6 +64,27 @@ impl GTable {
         match self {
             GTable::Dense(grid) => CostMap::len(grid),
             GTable::Hash(table) => CostMap::len(table),
+        }
+    }
+
+    fn update(&mut self, point: &[f64], target: &GEntry, cfg: &BlendConfig) -> f64 {
+        match self {
+            GTable::Dense(grid) => CostMap::update(grid, point, target, cfg),
+            GTable::Hash(table) => CostMap::update(table, point, target, cfg),
+        }
+    }
+
+    fn decay_confidence(&mut self, factor: f64) {
+        match self {
+            GTable::Dense(grid) => CostMap::decay_confidence(grid, factor),
+            GTable::Hash(table) => CostMap::decay_confidence(table, factor),
+        }
+    }
+
+    fn confidence(&self, point: &[f64]) -> f64 {
+        match self {
+            GTable::Dense(grid) => CostMap::confidence(grid, point),
+            GTable::Hash(table) => CostMap::confidence(table, point),
         }
     }
 }
@@ -224,6 +256,19 @@ impl AbstractionMap {
         }
     }
 
+    /// [`AbstractionMap::learn_with_backend`] over `spec`'s standard
+    /// envelope ([`MemberSpec::learn_envelope`]) — the constructor the
+    /// hierarchy, benches and drift tests share.
+    pub fn learn_for_member(
+        l0: &L0Config,
+        spec: &MemberSpec,
+        learn: LearnSpec,
+        backend: MapBackend,
+    ) -> Self {
+        let (c_range, lambda_max, q_max) = spec.learn_envelope();
+        Self::learn_with_backend(l0, &spec.phis, c_range, lambda_max, q_max, learn, backend)
+    }
+
     /// Number of trained cells.
     pub fn len(&self) -> usize {
         self.table.len()
@@ -263,6 +308,24 @@ impl AbstractionMap {
         if lambda <= self.lambda_max && q0 <= self.q_max {
             return self.table.get(&[lambda, c, q0]);
         }
+        if let GTable::Hash(table) = &self.table {
+            // Online insert-or-blend may have planted a *measured* cell
+            // out here; prefer it over replaying the possibly-drifted
+            // offline model. Two guards keep this from changing anything
+            // else: exact-cell hits only (the robust lookup's
+            // nearest-neighbor scan would let one far-out insert flatten
+            // the whole overload tail between it and the trained box),
+            // and only cells that have absorbed an observation
+            // (confidence > 0) — a *trained* edge cell that happens to
+            // share a quantizer cell with a just-out-of-envelope query
+            // must keep replaying exactly like the dense substrate does.
+            let key = [lambda, c, q0];
+            if table.confidence(&key) > 0.0 {
+                if let Some(entry) = table.get_exact(&key) {
+                    return *entry;
+                }
+            }
+        }
         if matches!(self.table, GTable::Dense(_)) {
             // Offline learning re-asks the same overload points thousands
             // of times; a long *online* run under sustained overload asks
@@ -282,6 +345,48 @@ impl AbstractionMap {
             return entry;
         }
         self.replay(lambda, c, q0)
+    }
+
+    /// Blend the realized outcome of one control period into the map —
+    /// the paper's §6 outlook ("the abstraction maps … can be updated
+    /// online using the observed values"), so the map self-corrects under
+    /// drift without re-running the offline training pass.
+    ///
+    /// Substrate policies differ exactly where the offline designs do:
+    /// the dense grid blends in-box observations only (out-of-box
+    /// outcomes are dropped — its edge cells answer every clamped query
+    /// and must not be poisoned by overload tails), while the hash table
+    /// insert-or-blends *everywhere*, growing its coverage from observed
+    /// traffic: a cell inserted beyond the trained envelope is preferred
+    /// by [`AbstractionMap::query`] over the analytic replay — but only
+    /// that exact cell, so one far-out observation never becomes the
+    /// nearest-neighbor authority for the whole region between it and
+    /// the trained box. Returns the blend weight applied (0.0 =
+    /// observation dropped).
+    pub fn update_online(
+        &mut self,
+        lambda: f64,
+        c: f64,
+        q0: f64,
+        outcome: GEntry,
+        cfg: &OnlineConfig,
+    ) -> f64 {
+        let lambda = lambda.max(0.0);
+        let q0 = q0.max(0.0);
+        let blend = BlendConfig::new(cfg.learning_rate, cfg.prior_weight);
+        self.table.update(&[lambda, c, q0], &outcome, &blend)
+    }
+
+    /// Staleness sweep: shrink every cell's online confidence by
+    /// `factor`, so cells the traffic left behind re-adapt quickly when
+    /// it returns. Batched over `llc-par` on the dense substrate.
+    pub fn decay_confidence(&mut self, factor: f64) {
+        self.table.decay_confidence(factor);
+    }
+
+    /// Online observations credited to the cell containing `(λ, ĉ, q₀)`.
+    pub fn confidence_at(&self, lambda: f64, c: f64, q0: f64) -> f64 {
+        self.table.confidence(&[lambda.max(0.0), c, q0.max(0.0)])
     }
 
     /// The exact out-of-grid answer: replay the analytic L0 model.
@@ -368,6 +473,36 @@ pub struct MemberSpec {
     pub c_prior: f64,
 }
 
+impl MemberSpec {
+    /// The paper's §4.3 reference computer for `profile`: its frequency
+    /// set and relative speed, with the 17.5 ms reference mean demand
+    /// (speed-scaled) as the processing-time prior.
+    pub fn paper_default(profile: crate::FrequencyProfile) -> Self {
+        let cp = crate::ComputerProfile::paper_default(profile);
+        MemberSpec {
+            phis: cp.phis(),
+            speed: cp.speed,
+            c_prior: 0.0175 / cp.speed,
+        }
+    }
+
+    /// The learning envelope every offline pass in this repo trains
+    /// over, as `(c_range, lambda_max, q_max)`: ĉ spanning
+    /// `(0.6, 1.6)·c_prior`, λ up to 2× the capacity at the *fastest*
+    /// in-range service time (so the overload knee is always inside the
+    /// trained surface and extrapolation beyond the grid continues an
+    /// already-overloaded slope), queues up to 200. One definition keeps
+    /// the hierarchy, the benches and the drift tests training —
+    /// and therefore gating — over the same maps.
+    pub fn learn_envelope(&self) -> ((f64, f64), f64, f64) {
+        (
+            (self.c_prior * 0.6, self.c_prior * 1.6),
+            2.0 / (self.c_prior * 0.6),
+            200.0,
+        )
+    }
+}
+
 /// The module controller (§4.2): decides `{α_j}` and `{γ_j}` by bounded
 /// search over the abstraction maps, with three-sample arrival-rate
 /// banding for chattering mitigation.
@@ -399,6 +534,21 @@ pub struct L1Controller {
     /// decisions as scratch so the table allocation is reused; cleared at
     /// the start of every decision.
     replay_memo: HashMap<(usize, usize, i64), f64>,
+    /// Online learning state: one outcome log per member plus the knobs,
+    /// present once [`L1Controller::enable_online`] has been called.
+    online: Option<OnlineL1>,
+}
+
+/// Online-learning state of an [`L1Controller`].
+#[derive(Debug, Clone)]
+struct OnlineL1 {
+    cfg: OnlineConfig,
+    /// Realized per-member outcomes awaiting absorption.
+    logs: Vec<ObservationLog<GEntry>>,
+    /// Learning passes run (drives the staleness-sweep cadence).
+    passes: u64,
+    /// Observations actually blended into a map (weight > 0).
+    applied: u64,
 }
 
 impl L1Controller {
@@ -448,12 +598,114 @@ impl L1Controller {
             total_states: 0,
             decisions: 0,
             replay_memo: HashMap::new(),
+            online: None,
         }
+    }
+
+    /// Switch on online incremental learning: realized per-member
+    /// outcomes recorded via [`L1Controller::record_outcome`] are blended
+    /// into the abstraction maps by [`L1Controller::learn_online`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range knobs (see [`OnlineConfig::validated`]).
+    pub fn enable_online(&mut self, cfg: OnlineConfig) {
+        let cfg = cfg.validated();
+        let logs = self
+            .members
+            .iter()
+            .map(|_| ObservationLog::new(cfg.log_capacity))
+            .collect();
+        self.online = Some(OnlineL1 {
+            cfg,
+            logs,
+            passes: 0,
+            applied: 0,
+        });
+    }
+
+    /// `true` once [`L1Controller::enable_online`] has been called.
+    pub fn online_enabled(&self) -> bool {
+        self.online.is_some()
+    }
+
+    /// Observations blended into the maps so far (weight > 0).
+    pub fn online_updates(&self) -> u64 {
+        self.online.as_ref().map_or(0, |o| o.applied)
+    }
+
+    /// Record the realized outcome of the last control period for
+    /// `member`: the arrival rate actually routed to it, the queue it
+    /// started the period with, and the measured [`GEntry`] (average
+    /// cost, power, end queue). The key's ĉ coordinate is the member's
+    /// current processing-time estimate — the same coordinate the
+    /// decision queried the map at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if online learning is not enabled or `member` is out of
+    /// range.
+    pub fn record_outcome(&mut self, member: usize, lambda: f64, q0: f64, realized: GEntry) {
+        assert!(member < self.members.len(), "member index out of range");
+        let c = self.c_estimates()[member];
+        let tick = self.decisions;
+        let online = self
+            .online
+            .as_mut()
+            .expect("call enable_online before record_outcome");
+        online.logs[member].push(vec![lambda.max(0.0), c, q0.max(0.0)], realized, tick);
+    }
+
+    /// Drain every member's outcome log into its abstraction map (oldest
+    /// first), then run the staleness sweep on the configured cadence.
+    /// Returns the number of observations blended in.
+    ///
+    /// The maps are `Arc`-shared; a map still shared with another owner
+    /// (offline learning in flight) is copied once on first update and
+    /// diverges from there — in the steady running hierarchy each L1 is
+    /// the sole owner and the update is in-place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if online learning is not enabled.
+    pub fn learn_online(&mut self) -> usize {
+        let online = self
+            .online
+            .as_mut()
+            .expect("call enable_online before learn_online");
+        let cfg = online.cfg;
+        let mut applied = 0usize;
+        for (member, log) in online.logs.iter_mut().enumerate() {
+            for obs in log.drain() {
+                let map = Arc::make_mut(&mut self.maps[member]);
+                if map.update_online(obs.key[0], obs.key[1], obs.key[2], obs.outcome, &cfg) > 0.0 {
+                    applied += 1;
+                }
+            }
+        }
+        online.passes += 1;
+        online.applied += applied as u64;
+        if cfg.decay_every > 0 && online.passes.is_multiple_of(cfg.decay_every) {
+            for map in &mut self.maps {
+                Arc::make_mut(map).decay_confidence(cfg.decay_factor);
+            }
+        }
+        applied
     }
 
     /// Number of computers managed.
     pub fn num_members(&self) -> usize {
         self.members.len()
+    }
+
+    /// The abstraction map the controller currently consults for
+    /// `member` (reflects online updates once they are absorbed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range.
+    pub fn map(&self, member: usize) -> &AbstractionMap {
+        &self.maps[member]
     }
 
     /// Feed one L1 window: module arrivals over `T_L1` and the mean local
@@ -868,6 +1120,121 @@ mod tests {
         let d = l1.decide(&[0; 4], &[true; 4]);
         assert!(d.states_evaluated > 0);
         assert!(l1.mean_states_evaluated() > 0.0);
+    }
+
+    #[test]
+    fn online_update_tracks_drifted_outcomes() {
+        use llc_core::OnlineConfig;
+        let m = member(FrequencyProfile::TallEight);
+        for backend in [MapBackend::Dense, MapBackend::Hash] {
+            let mut map = AbstractionMap::learn_with_backend(
+                &L0Config::paper_default(),
+                &m.phis,
+                (0.012, 0.03),
+                80.0,
+                150.0,
+                LearnSpec::coarse(),
+                backend,
+            );
+            let cfg = OnlineConfig::default();
+            let offline = map.query(40.0, 0.0175, 10.0);
+            // The plant drifted: the same operating point now costs 3x.
+            let drifted = GEntry {
+                cost: offline.cost * 3.0,
+                power: offline.power,
+                final_q: offline.final_q + 5.0,
+            };
+            for _ in 0..40 {
+                let w = map.update_online(40.0, 0.0175, 10.0, drifted, &cfg);
+                assert!(w > 0.0, "{backend:?}: in-grid update must apply");
+            }
+            let adapted = map.query(40.0, 0.0175, 10.0);
+            assert!(
+                (adapted.cost - drifted.cost).abs() < (offline.cost - drifted.cost).abs() * 0.05,
+                "{backend:?}: map must converge onto the drifted outcome \
+                 (offline {:.2}, adapted {:.2}, drifted {:.2})",
+                offline.cost,
+                adapted.cost,
+                drifted.cost
+            );
+            assert!(map.confidence_at(40.0, 0.0175, 10.0) > 0.0);
+            map.decay_confidence(0.0);
+            assert_eq!(map.confidence_at(40.0, 0.0175, 10.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn hash_substrate_grows_coverage_dense_drops_out_of_box() {
+        use llc_core::OnlineConfig;
+        let m = member(FrequencyProfile::TallEight);
+        let cfg = OnlineConfig::default();
+        let outcome = GEntry {
+            cost: 123.0,
+            power: 4.0,
+            final_q: 200.0,
+        };
+        let learn = |backend| {
+            AbstractionMap::learn_with_backend(
+                &L0Config::paper_default(),
+                &m.phis,
+                (0.012, 0.03),
+                80.0,
+                150.0,
+                LearnSpec::coarse(),
+                backend,
+            )
+        };
+        // Dense: an outcome beyond the trained box is dropped.
+        let mut dense = learn(MapBackend::Dense);
+        assert_eq!(dense.update_online(500.0, 0.0175, 10.0, outcome, &cfg), 0.0);
+        // Hash: the same outcome is inserted; the exact cell answers the
+        // next query with the measured value…
+        let mut hash = learn(MapBackend::Hash);
+        assert_eq!(hash.update_online(500.0, 0.0175, 10.0, outcome, &cfg), 1.0);
+        let read = hash.query(500.0, 0.0175, 10.0);
+        assert_eq!(read.cost, 123.0);
+        // …but only that cell: a different out-of-envelope point still
+        // replays the analytic model rather than borrowing the far-out
+        // insert through a nearest-neighbor scan.
+        let other = hash.query(300.0, 0.0175, 10.0);
+        let replayed = learn(MapBackend::Hash).query(300.0, 0.0175, 10.0);
+        assert_eq!(other, replayed, "intermediate region keeps exact replay");
+    }
+
+    #[test]
+    fn controller_learn_online_absorbs_recorded_outcomes() {
+        let mut l1 = build_module(2);
+        l1.enable_online(llc_core::OnlineConfig::default());
+        assert!(l1.online_enabled());
+        for _ in 0..4 {
+            l1.observe(30 * 120, &[Some(0.0175); 2]);
+            let _ = l1.decide(&[0, 0], &[true, true]);
+            let realized = GEntry {
+                cost: 42.0,
+                power: 3.0,
+                final_q: 1.0,
+            };
+            l1.record_outcome(0, 20.0, 0.0, realized);
+            l1.record_outcome(1, 10.0, 0.0, realized);
+            assert_eq!(l1.learn_online(), 2);
+        }
+        assert_eq!(l1.online_updates(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_online")]
+    fn record_outcome_requires_enable() {
+        let mut l1 = build_module(2);
+        l1.record_outcome(
+            0,
+            1.0,
+            0.0,
+            GEntry {
+                cost: 1.0,
+                power: 1.0,
+                final_q: 0.0,
+            },
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use crate::l1::{AbstractionMap, L1Config, L1Controller, MemberSpec};
-use llc_approx::{RegressionTree, SimplexGrid, TreeConfig};
-use llc_core::BoundedSearch;
+use llc_approx::SimplexGrid;
+use llc_approx::{BlendConfig, CostMap, DenseGrid, GridSampler, RegressionTree, TreeConfig};
+use llc_core::{BoundedSearch, ObservationLog, OnlineConfig};
 use llc_forecast::{Forecaster, LocalLinearTrend};
 use std::sync::Arc;
 
@@ -38,6 +39,15 @@ pub struct ModuleCostModel {
     /// routes load toward it (its cost looks sunk while the healthy
     /// module's cost rises with load).
     overload_arrival_cost: f64,
+    /// The training grid, kept so the online residual layer can be built
+    /// over exactly the domain the tree was fit on.
+    sampler: GridSampler,
+    /// Online residual correction: a dense grid over the training domain
+    /// learning `realized − tree` from observed module outcomes (a CART
+    /// tree cannot be re-split incrementally, so drift is absorbed by an
+    /// additively-corrected surface instead). `None` until
+    /// [`ModuleCostModel::enable_online`].
+    residual: Option<DenseGrid<f64>>,
 }
 
 /// Resolution of the module-learning grid.
@@ -242,6 +252,89 @@ impl ModuleCostModel {
             q_hi,
             overload_slope,
             overload_arrival_cost,
+            sampler,
+            residual: None,
+        }
+    }
+
+    /// Switch on the online residual layer: a zero-initialized dense grid
+    /// over the training domain that [`ModuleCostModel::observe_outcome`]
+    /// blends realized-minus-predicted errors into.
+    pub fn enable_online(&mut self) {
+        if self.residual.is_none() {
+            self.residual = Some(DenseGrid::from_fn(&self.sampler, |_| 0.0));
+        }
+    }
+
+    /// `true` once the online residual layer exists.
+    pub fn online_enabled(&self) -> bool {
+        self.residual.is_some()
+    }
+
+    /// Blend one realized module outcome into the residual layer: the
+    /// correction cell at `(λ_i, c_factor, q̄, active)` moves toward
+    /// `realized_cost − base prediction`, so repeated visits under drift
+    /// bend the cost surface toward what the module actually does now.
+    /// Returns the blend weight applied (0.0 when the key fell outside
+    /// the trained box, or online learning is disabled).
+    ///
+    /// Observations beyond the trained queue ceiling are dropped, not
+    /// clamped: `key_of` would fold them into the `q_hi` edge cells,
+    /// which also answer legitimate near-ceiling queries — the same
+    /// edge-poisoning the dense L1 substrate refuses. Overload states
+    /// are already handled by the linear extension in `base_predict`.
+    pub fn observe_outcome(
+        &mut self,
+        lambda: f64,
+        c_factor: f64,
+        q_mean: f64,
+        active: usize,
+        realized_cost: f64,
+        cfg: &OnlineConfig,
+    ) -> f64 {
+        if q_mean.max(0.0) > self.q_hi {
+            return 0.0;
+        }
+        let key = self.key_of(lambda, c_factor, q_mean, active);
+        let target = realized_cost - self.base_predict(lambda, c_factor, q_mean, active);
+        match self.residual.as_mut() {
+            Some(grid) => grid.update(
+                &key,
+                &target,
+                &BlendConfig::new(cfg.learning_rate, cfg.prior_weight),
+            ),
+            None => 0.0,
+        }
+    }
+
+    /// Staleness sweep over the residual layer's confidence counts.
+    pub fn decay_confidence(&mut self, factor: f64) {
+        if let Some(grid) = self.residual.as_mut() {
+            grid.decay_confidence(factor);
+        }
+    }
+
+    /// The tree-domain key for `(λ, c_factor, q̄, active)` (queue clamped
+    /// to the trained ceiling, exactly as the tree is queried).
+    fn key_of(&self, lambda: f64, c_factor: f64, q_mean: f64, active: usize) -> [f64; 4] {
+        [
+            lambda.max(0.0),
+            c_factor,
+            q_mean.max(0.0).min(self.q_hi),
+            active as f64,
+        ]
+    }
+
+    /// Offline prediction: tree plus overload extension, without the
+    /// online residual.
+    fn base_predict(&self, lambda: f64, c_factor: f64, q_mean: f64, active: usize) -> f64 {
+        let q = q_mean.max(0.0);
+        let base = self.tree.predict(&self.key_of(lambda, c_factor, q, active));
+        if q > self.q_hi {
+            base + self.overload_slope * (q - self.q_hi)
+                + self.overload_arrival_cost * lambda.max(0.0)
+        } else {
+            base
         }
     }
 
@@ -252,17 +345,19 @@ impl ModuleCostModel {
     /// top of the tree's edge prediction, plus a per-arrival penalty that
     /// restores the λ gradient a saturated module loses (see the field
     /// docs on `overload_arrival_cost`) — so the split search sheds load
-    /// off a drowning module instead of treating its cost as sunk.
+    /// off a drowning module instead of treating its cost as sunk. With
+    /// online learning enabled, the learned residual correction is added
+    /// on top.
     pub fn predict(&self, lambda: f64, c_factor: f64, q_mean: f64, active: usize) -> f64 {
-        let q = q_mean.max(0.0);
-        let base = self
-            .tree
-            .predict(&[lambda.max(0.0), c_factor, q.min(self.q_hi), active as f64]);
-        if q > self.q_hi {
-            base + self.overload_slope * (q - self.q_hi)
-                + self.overload_arrival_cost * lambda.max(0.0)
-        } else {
-            base
+        let base = self.base_predict(lambda, c_factor, q_mean, active);
+        match &self.residual {
+            Some(grid) => {
+                base + grid
+                    .probe(&self.key_of(lambda, c_factor, q_mean, active))
+                    .copied()
+                    .unwrap_or(0.0)
+            }
+            None => base,
         }
     }
 
@@ -341,6 +436,21 @@ pub struct L2Controller {
     forecast_history: Vec<(f64, f64)>,
     total_states: u64,
     decisions: u64,
+    /// Online learning state (knobs + pending outcomes), present once
+    /// [`L2Controller::enable_online`] has been called.
+    online: Option<OnlineL2>,
+}
+
+/// Online-learning state of an [`L2Controller`]. Each pending outcome
+/// carries the module index it belongs to alongside the realized cost.
+#[derive(Debug, Clone)]
+struct OnlineL2 {
+    cfg: OnlineConfig,
+    log: ObservationLog<(usize, f64)>,
+    /// Learning passes run (drives the staleness-sweep cadence).
+    passes: u64,
+    /// Observations actually blended into a model (weight > 0).
+    applied: u64,
 }
 
 impl L2Controller {
@@ -360,12 +470,116 @@ impl L2Controller {
             forecast_history: Vec::new(),
             total_states: 0,
             decisions: 0,
+            online: None,
         }
     }
 
     /// Number of modules managed.
     pub fn num_modules(&self) -> usize {
         self.models.len()
+    }
+
+    /// Switch on online incremental learning: enables the residual layer
+    /// on every module model; realized outcomes recorded via
+    /// [`L2Controller::record_outcome`] are blended in by
+    /// [`L2Controller::learn_online`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range knobs (see [`OnlineConfig::validated`]).
+    pub fn enable_online(&mut self, cfg: OnlineConfig) {
+        let cfg = cfg.validated();
+        for model in &mut self.models {
+            model.enable_online();
+        }
+        self.online = Some(OnlineL2 {
+            cfg,
+            log: ObservationLog::new(cfg.log_capacity),
+            passes: 0,
+            applied: 0,
+        });
+    }
+
+    /// `true` once [`L2Controller::enable_online`] has been called.
+    pub fn online_enabled(&self) -> bool {
+        self.online.is_some()
+    }
+
+    /// Observations blended into the module models so far (weight > 0).
+    pub fn online_updates(&self) -> u64 {
+        self.online.as_ref().map_or(0, |o| o.applied)
+    }
+
+    /// Record one module's realized per-period cost at the state it
+    /// served under: the arrival rate actually routed to it (`λ_i`), its
+    /// processing-time factor, mean queue, active machine count, and the
+    /// measured cost over the period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if online learning is not enabled or `module` is out of
+    /// range.
+    pub fn record_outcome(
+        &mut self,
+        module: usize,
+        lambda: f64,
+        state: ModuleState,
+        realized_cost: f64,
+    ) {
+        assert!(module < self.models.len(), "module index out of range");
+        let tick = self.decisions;
+        let online = self
+            .online
+            .as_mut()
+            .expect("call enable_online before record_outcome");
+        online.log.push(
+            vec![
+                lambda.max(0.0),
+                state.c_factor,
+                state.queue_mean,
+                state.active as f64,
+            ],
+            (module, realized_cost),
+            tick,
+        );
+    }
+
+    /// Drain the outcome log into the module models (oldest first), then
+    /// run the staleness sweep on the configured cadence. Returns the
+    /// number of observations blended in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if online learning is not enabled.
+    pub fn learn_online(&mut self) -> usize {
+        let online = self
+            .online
+            .as_mut()
+            .expect("call enable_online before learn_online");
+        let cfg = online.cfg;
+        let mut applied = 0usize;
+        for obs in online.log.drain() {
+            let (module, realized_cost) = obs.outcome;
+            let w = self.models[module].observe_outcome(
+                obs.key[0],
+                obs.key[1],
+                obs.key[2],
+                obs.key[3].round() as usize,
+                realized_cost,
+                &cfg,
+            );
+            if w > 0.0 {
+                applied += 1;
+            }
+        }
+        online.passes += 1;
+        online.applied += applied as u64;
+        if cfg.decay_every > 0 && online.passes.is_multiple_of(cfg.decay_every) {
+            for model in &mut self.models {
+                model.decay_confidence(cfg.decay_factor);
+            }
+        }
+        applied
     }
 
     /// Seed the controller with an initial split (e.g. proportional to
@@ -606,6 +820,68 @@ mod tests {
             d.gamma
         );
     }
+
+    #[test]
+    fn residual_layer_corrects_drifted_module_cost() {
+        let mut model = module_model(2);
+        let cfg = OnlineConfig::default();
+        model.enable_online();
+        assert!(model.online_enabled());
+        let offline = model.predict(50.0, 1.0, 10.0, 2);
+        // The module drifted: it now costs 40 units more at this state.
+        let realized = offline + 40.0;
+        for _ in 0..40 {
+            let w = model.observe_outcome(50.0, 1.0, 10.0, 2, realized, &cfg);
+            assert!(w > 0.0, "in-domain outcome must blend");
+        }
+        let adapted = model.predict(50.0, 1.0, 10.0, 2);
+        assert!(
+            (adapted - realized).abs() < 2.0,
+            "residual must close most of the 40-unit drift gap: \
+             offline {offline:.2}, adapted {adapted:.2}, realized {realized:.2}"
+        );
+        // Over-ceiling outcomes are dropped, not clamped into the q_hi
+        // edge cells that also answer legitimate near-ceiling queries.
+        assert_eq!(model.observe_outcome(50.0, 1.0, 500.0, 2, 1e6, &cfg), 0.0);
+        // Disabled path unchanged.
+        let mut fresh = module_model(2);
+        assert!(!fresh.online_enabled());
+        assert_eq!(
+            fresh.observe_outcome(50.0, 1.0, 10.0, 2, realized, &cfg),
+            0.0
+        );
+    }
+
+    #[test]
+    fn l2_learn_online_drains_log_into_models() {
+        let model = module_model(2);
+        let models = vec![model.clone(), model];
+        let mut l2 = L2Controller::new(L2Config::paper_default(), models);
+        l2.enable_online(OnlineConfig::default());
+        for _ in 0..3 {
+            l2.observe((60.0 * 120.0) as u64);
+        }
+        let state = ModuleState {
+            c_factor: 1.0,
+            queue_mean: 5.0,
+            active: 2,
+        };
+        let _ = l2.decide(&[state, state]);
+        let before = l2.models[0].predict(30.0, 1.0, 5.0, 2);
+        for _ in 0..20 {
+            l2.record_outcome(0, 30.0, state, before + 25.0);
+            l2.record_outcome(1, 30.0, state, before + 25.0);
+            assert_eq!(l2.learn_online(), 2);
+        }
+        assert_eq!(l2.online_updates(), 40);
+        let after = l2.models[0].predict(30.0, 1.0, 5.0, 2);
+        assert!(
+            after > before + 15.0,
+            "online outcomes must raise the prediction ({before:.2} -> {after:.2})"
+        );
+    }
+
+    use llc_core::OnlineConfig;
 
     #[test]
     fn forecast_history_tracks_pairs() {

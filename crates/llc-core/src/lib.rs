@@ -56,6 +56,7 @@ mod cost;
 mod error;
 mod llc;
 mod model;
+mod online;
 mod schedule;
 mod uncertainty;
 
@@ -64,5 +65,6 @@ pub use cost::{Norm, Penalty, SetPoint};
 pub use error::Error;
 pub use llc::{Decision, LookaheadController, SearchStats};
 pub use model::{EnvStep, Forecast, Plant};
+pub use online::{Observation, ObservationLog, OnlineConfig};
 pub use schedule::{LevelTick, MultiRateSchedule};
 pub use uncertainty::UncertaintyBand;

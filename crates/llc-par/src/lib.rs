@@ -93,6 +93,39 @@ where
         .collect()
 }
 
+/// Apply `f` to every element of `items` in place, in parallel.
+///
+/// The mutable sibling of [`par_map`], for sweeps that update large flat
+/// buffers without producing a new allocation — e.g. the online-learning
+/// staleness decay over a dense grid's per-cell confidence counters.
+/// Each worker owns a contiguous disjoint chunk, so the result is
+/// identical to the serial loop for any pure per-element `f` and there is
+/// no synchronization beyond the scope join.
+pub fn par_for_each_mut<T: Send, F>(items: &mut [T], f: F)
+where
+    F: Fn(&mut T) + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 || in_worker() {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for part in items.chunks_mut(chunk) {
+            scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                for item in part.iter_mut() {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
 /// Map `f` over the index range `0..n` in parallel, preserving order.
 ///
 /// The indexed sibling of [`par_map`], for producers that generate their
@@ -123,6 +156,20 @@ mod tests {
         let empty: Vec<u64> = vec![];
         assert!(par_map(&empty, |&x: &u64| x).is_empty());
         assert_eq!(par_map(&[42u64], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn for_each_mut_matches_serial_sweep() {
+        let mut parallel: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let mut serial = parallel.clone();
+        par_for_each_mut(&mut parallel, |x| *x = *x * 0.5 + 1.0);
+        for x in serial.iter_mut() {
+            *x = *x * 0.5 + 1.0;
+        }
+        assert_eq!(parallel, serial);
+        let mut empty: Vec<u32> = vec![];
+        par_for_each_mut(&mut empty, |x| *x += 1);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -371,6 +371,24 @@ impl ClusterSim {
         }
     }
 
+    /// Inject capacity drift into computer `i`: it keeps its DVFS setting
+    /// and power draw but delivers only `scale ∈ (0, 1]` of its nominal
+    /// throughput (gradual degradation, post-failure capacity loss — the
+    /// drift scenarios online learning is measured against). The
+    /// in-service request is re-timed like a frequency change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `scale` is outside `(0, 1]`.
+    pub fn set_service_scale(&mut self, i: usize, scale: f64) {
+        let now = self.now;
+        let new_completion = self.computers[i].set_service_scale(scale, now);
+        if let Some(t) = new_completion {
+            let epoch = self.computers[i].bump_epoch();
+            self.push_event(t, EventKind::Departure { comp: i, epoch });
+        }
+    }
+
     /// Drain per-computer window statistics (resetting them), in global
     /// computer order.
     pub fn drain_computer_stats(&mut self) -> Vec<WindowStats> {
@@ -596,6 +614,32 @@ mod tests {
         sim.run_until(130.0).unwrap();
         let stats = sim.drain_computer_stats();
         assert_eq!(stats[0].completions, 1, "exactly one completion");
+    }
+
+    #[test]
+    fn service_scale_stretches_service_but_not_power() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.run_until(120.0).unwrap();
+        assert_eq!(sim.computer(0).service_scale(), 1.0);
+        // Degrade to half capacity mid-service: a 2 s request started at
+        // t=120 with 1 s of work left at t=121 now finishes at t=123.
+        sim.schedule_arrival(120.0, 2.0).unwrap();
+        sim.run_until(121.0).unwrap();
+        sim.set_service_scale(0, 0.5);
+        sim.run_until(122.5).unwrap();
+        assert_eq!(sim.computer(0).queue_length(), 1, "not done at 122.5");
+        let energy_busy = sim.total_energy();
+        sim.run_until(123.1).unwrap();
+        assert_eq!(sim.computer(0).queue_length(), 0, "done at 123");
+        // Power draw while busy stayed nominal (operating at φ=1):
+        // degradation is invisible to the meter.
+        let drawn = sim.total_energy() - energy_busy;
+        let operating = 0.75 + 1.0; // PowerModel::new(0.75, 8.0) at φ=1
+        assert!(
+            (drawn - (operating * 0.5 + 0.75 * 0.1)).abs() < 1e-6,
+            "busy 122.5..123 at nominal watts then idle, got {drawn}"
+        );
     }
 
     #[test]

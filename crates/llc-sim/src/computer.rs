@@ -53,6 +53,12 @@ pub struct Computer {
     switch_offs: u64,
     /// Completions drained out of `stats` so far (keeps `completed()` total).
     lifetime_completions: u64,
+    /// Drift-injection factor on delivered capacity (1.0 = nominal): the
+    /// server serves at `φ · service_scale`, so a degraded machine takes
+    /// longer per request while its DVFS setting — and therefore its
+    /// power draw — stays nominal. Models gradual service-rate
+    /// degradation and post-failure capacity loss.
+    service_scale: f64,
 }
 
 impl Computer {
@@ -100,6 +106,7 @@ impl Computer {
             switch_ons: 0,
             switch_offs: 0,
             lifetime_completions: 0,
+            service_scale: 1.0,
         }
     }
 
@@ -278,9 +285,39 @@ impl Computer {
             "frequency index out of range"
         );
         self.freq_index = index;
-        let completion = self.server.set_phi(self.phi(), now);
+        let completion = self.server.set_phi(self.effective_phi(), now);
         self.refresh_power(now);
         completion
+    }
+
+    /// Current drift-injection factor on delivered capacity.
+    pub fn service_scale(&self) -> f64 {
+        self.service_scale
+    }
+
+    /// The scaling factor the server actually serves at: the DVFS `φ`
+    /// times the injected capacity drift.
+    fn effective_phi(&self) -> f64 {
+        self.phi() * self.service_scale
+    }
+
+    /// Inject capacity drift at time `now`: the machine keeps its DVFS
+    /// setting and *power draw* but delivers only `scale` of its nominal
+    /// throughput — the insidious case for a train-once controller, since
+    /// nothing in the telemetry says the maps are stale. Work already done
+    /// on the in-service request is credited at the old rate; returns its
+    /// new completion time, if any (caller reschedules the departure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is outside `(0, 1]`.
+    pub fn set_service_scale(&mut self, scale: f64, now: f64) -> Option<f64> {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "service scale must lie in (0, 1], got {scale}"
+        );
+        self.service_scale = scale;
+        self.server.set_phi(self.effective_phi(), now)
     }
 
     /// Offer a request to the computer at time `now`.

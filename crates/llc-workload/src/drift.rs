@@ -1,0 +1,263 @@
+//! Drift scenarios: workloads paired with plant-side model drift.
+//!
+//! The paper's §6 outlook motivates *online* map updates with exactly
+//! these situations — the world the maps were trained on stops matching
+//! the world being controlled. A [`DriftScenario`] bundles an arrival
+//! trace with a [`CapacityProfile`] describing how the machines' real
+//! delivered capacity departs from nominal over the run. The capacity
+//! side is *invisible to telemetry*: request demands (what the
+//! controllers' ĉ filters measure) stay nominal while service silently
+//! stretches — the case a train-once controller cannot see coming. Feed
+//! the profile to `llc_sim`'s `set_service_scale` drift hook, or divide
+//! analytic service times by the scale when replaying queue models.
+//!
+//! Three canonical scenarios ship with [`drift_scenarios`]:
+//!
+//! 1. **gradual-degradation** — steady traffic, capacity ramping down
+//!    linearly (aging heat-throttled hardware, creeping background load);
+//! 2. **diurnal-shift** — a diurnal arrival swing whose *peak hours also
+//!    slow the machines* (cache pressure, noisy neighbors), so the
+//!    worst-case operating points are precisely where the offline maps
+//!    are most wrong;
+//! 3. **post-failure-capacity** — steady traffic with a sharp capacity
+//!    step mid-run (a machine comes back from a failure degraded).
+
+use crate::{DiurnalShape, SyntheticBuilder, Trace};
+
+/// How delivered capacity (as a fraction of nominal, in `(0, 1]`) evolves
+/// over a run of `len` buckets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityProfile {
+    /// No drift: scale 1.0 throughout (the control arm).
+    Nominal,
+    /// Linear ramp from `from` at bucket 0 to `to` at the last bucket.
+    Ramp {
+        /// Scale at the start of the run.
+        from: f64,
+        /// Scale at the end of the run.
+        to: f64,
+    },
+    /// Step change: `before` until `at` (fraction of the run in `[0, 1]`),
+    /// `after` from there on.
+    Step {
+        /// Fraction of the run at which the step occurs.
+        at: f64,
+        /// Scale before the step.
+        before: f64,
+        /// Scale after the step.
+        after: f64,
+    },
+    /// Sinusoidal dip tied to the diurnal cycle: scale
+    /// `base − amplitude · sin²(π·k/period)` — deepest mid-cycle.
+    Diurnal {
+        /// Scale at the cycle troughs.
+        base: f64,
+        /// Depth of the mid-cycle dip (`base − amplitude > 0`).
+        amplitude: f64,
+        /// Cycle length in buckets.
+        period: f64,
+    },
+}
+
+impl CapacityProfile {
+    /// Delivered-capacity scale during bucket `k` of a `len`-bucket run.
+    /// Always in `(0, 1]` for well-formed profiles.
+    pub fn scale_at(&self, k: usize, len: usize) -> f64 {
+        let frac = if len <= 1 {
+            0.0
+        } else {
+            k as f64 / (len - 1) as f64
+        };
+        let scale = match *self {
+            CapacityProfile::Nominal => 1.0,
+            CapacityProfile::Ramp { from, to } => from + (to - from) * frac,
+            CapacityProfile::Step { at, before, after } => {
+                if frac < at {
+                    before
+                } else {
+                    after
+                }
+            }
+            CapacityProfile::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
+                let s = (std::f64::consts::PI * k as f64 / period.max(1.0)).sin();
+                base - amplitude * s * s
+            }
+        };
+        scale.clamp(1e-6, 1.0)
+    }
+}
+
+/// An arrival trace plus the plant drift it runs against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftScenario {
+    /// Stable scenario identifier (used in benchmark JSON keys).
+    pub name: &'static str,
+    /// Arrival counts per bucket.
+    pub trace: Trace,
+    /// Delivered-capacity drift over the run.
+    pub capacity: CapacityProfile,
+}
+
+impl DriftScenario {
+    /// Capacity scale during bucket `k` of this scenario's trace.
+    pub fn scale_at(&self, k: usize) -> f64 {
+        self.capacity.scale_at(k, self.trace.len())
+    }
+}
+
+/// The three canonical drift scenarios over `buckets` buckets of
+/// `interval` seconds, with arrival rates peaking near `peak_rate`
+/// requests/second. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`, `interval <= 0`, or `peak_rate <= 0`.
+pub fn drift_scenarios(
+    seed: u64,
+    buckets: usize,
+    interval: f64,
+    peak_rate: f64,
+) -> Vec<DriftScenario> {
+    assert!(buckets > 0, "need at least one bucket");
+    assert!(interval > 0.0, "interval must be positive");
+    assert!(peak_rate > 0.0, "peak rate must be positive");
+    let b = buckets as f64;
+    // Steady traffic near 60% of peak, light noise.
+    let steady = SyntheticBuilder::new(
+        DiurnalShape::new(0.6 * peak_rate * interval),
+        buckets,
+        interval,
+    )
+    .with_noise(crate::NoiseSegment {
+        start: 0,
+        end: buckets,
+        var_per_30s: (0.02 * peak_rate * interval).powi(2) / (interval / 30.0),
+    })
+    .build(seed);
+    // One diurnal cycle: quiet shoulders, a broad peak past mid-run.
+    let diurnal = SyntheticBuilder::new(
+        DiurnalShape::new(0.25 * peak_rate * interval).with_hump(
+            0.7 * peak_rate * interval,
+            0.6 * b,
+            0.18 * b,
+        ),
+        buckets,
+        interval,
+    )
+    .with_noise(crate::NoiseSegment {
+        start: 0,
+        end: buckets,
+        var_per_30s: (0.02 * peak_rate * interval).powi(2) / (interval / 30.0),
+    })
+    .build(seed ^ 0x5eed);
+    vec![
+        DriftScenario {
+            name: "gradual-degradation",
+            trace: steady.clone(),
+            capacity: CapacityProfile::Ramp { from: 1.0, to: 0.7 },
+        },
+        DriftScenario {
+            name: "diurnal-shift",
+            trace: diurnal,
+            capacity: CapacityProfile::Diurnal {
+                base: 1.0,
+                amplitude: 0.3,
+                period: b,
+            },
+        },
+        DriftScenario {
+            name: "post-failure-capacity",
+            trace: steady,
+            capacity: CapacityProfile::Step {
+                at: 0.5,
+                before: 1.0,
+                after: 0.65,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_stay_in_unit_interval() {
+        let profiles = [
+            CapacityProfile::Nominal,
+            CapacityProfile::Ramp { from: 1.0, to: 0.5 },
+            CapacityProfile::Step {
+                at: 0.5,
+                before: 1.0,
+                after: 0.6,
+            },
+            CapacityProfile::Diurnal {
+                base: 1.0,
+                amplitude: 0.4,
+                period: 100.0,
+            },
+        ];
+        for p in profiles {
+            for k in 0..200 {
+                let s = p.scale_at(k, 200);
+                assert!(s > 0.0 && s <= 1.0, "{p:?} at {k}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_hits_endpoints() {
+        let p = CapacityProfile::Ramp { from: 1.0, to: 0.7 };
+        assert!((p.scale_at(0, 101) - 1.0).abs() < 1e-12);
+        assert!((p.scale_at(100, 101) - 0.7).abs() < 1e-12);
+        assert!((p.scale_at(50, 101) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_switches_at_fraction() {
+        let p = CapacityProfile::Step {
+            at: 0.5,
+            before: 1.0,
+            after: 0.65,
+        };
+        assert_eq!(p.scale_at(0, 100), 1.0);
+        assert_eq!(p.scale_at(49, 100), 1.0);
+        assert_eq!(p.scale_at(50, 100), 0.65);
+        assert_eq!(p.scale_at(99, 100), 0.65);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_and_shaped() {
+        let a = drift_scenarios(7, 200, 120.0, 50.0);
+        let b = drift_scenarios(7, 200, 120.0, 50.0);
+        assert_eq!(a, b, "same seed, same scenarios");
+        assert_eq!(a.len(), 3);
+        let names: Vec<&str> = a.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "gradual-degradation",
+                "diurnal-shift",
+                "post-failure-capacity"
+            ]
+        );
+        for s in &a {
+            assert_eq!(s.trace.len(), 200);
+            assert!(
+                s.trace.peak() <= 1.3 * 50.0 * 120.0,
+                "{}: sane peak",
+                s.name
+            );
+        }
+        // The diurnal scenario actually swings.
+        let d = &a[1];
+        assert!(d.trace.peak() > 2.5 * d.trace.counts()[0].max(1.0));
+        // Drift deepens mid-run for the diurnal capacity dip.
+        assert!(d.scale_at(100) < 0.8);
+        assert!(d.scale_at(0) > 0.95);
+    }
+}

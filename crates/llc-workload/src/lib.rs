@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod distributions;
+mod drift;
 mod flash;
 mod locality;
 mod store;
@@ -48,6 +49,7 @@ mod trace;
 mod wc98;
 
 pub use distributions::{derive_seed, Gaussian, LogNormal, Poisson, Zipf};
+pub use drift::{drift_scenarios, CapacityProfile, DriftScenario};
 pub use flash::FlashCrowd;
 pub use locality::{LocalityModel, RequestSampler};
 pub use store::VirtualStore;

@@ -124,7 +124,7 @@ pub mod strategy {
         }
     }
 
-    /// Box a strategy for heterogeneous collections ([`prop_oneof!`]).
+    /// Box a strategy for heterogeneous collections ([`prop_oneof!`](crate::prop_oneof)).
     pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
         Box::new(s)
     }
@@ -142,7 +142,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed strategies — the [`prop_oneof!`] payload.
+    /// Uniform choice among boxed strategies — the [`prop_oneof!`](crate::prop_oneof) payload.
     pub struct Union<V> {
         arms: Vec<Box<dyn Strategy<Value = V>>>,
     }
@@ -262,7 +262,7 @@ pub mod strategy {
 pub mod collection {
     use crate::strategy::VecStrategy;
 
-    /// Lengths accepted by [`vec`]: an exact `usize` or a `usize` range.
+    /// Lengths accepted by [`vec()`]: an exact `usize` or a `usize` range.
     pub trait IntoSizeRange {
         /// Inclusive `(lo, hi)` bounds.
         fn bounds(self) -> (usize, usize);

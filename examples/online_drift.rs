@@ -1,0 +1,67 @@
+//! Online incremental learning under drift, end to end on one computer:
+//! a machine silently loses 35% of its capacity mid-run (post-failure
+//! degradation — request demands, and therefore the controller's ĉ
+//! telemetry, look unchanged), and the abstraction map either stays the
+//! offline artifact or absorbs each period's realized outcome.
+//!
+//! Run with: `cargo run --release -p llc-examples --example online_drift`
+
+use llc_cluster::{
+    AbstractionMap, FrequencyProfile, GEntry, L0Config, L0Controller, LearnSpec, MapBackend,
+    MemberSpec,
+};
+use llc_core::OnlineConfig;
+use llc_workload::CapacityProfile;
+
+fn main() {
+    let spec = MemberSpec::paper_default(FrequencyProfile::TallEight);
+    let l0 = L0Config::paper_default();
+    let offline =
+        AbstractionMap::learn_for_member(&l0, &spec, LearnSpec::coarse(), MapBackend::Dense);
+    let mut online = offline.clone();
+    let cfg = OnlineConfig::default();
+
+    let periods = 120usize;
+    let capacity = CapacityProfile::Step {
+        at: 0.4,
+        before: 1.0,
+        after: 0.65,
+    };
+    let lambda = 0.3 / spec.c_prior; // steady 30% of nominal capacity
+    let c = spec.c_prior;
+    let mut q = 0.0f64;
+    let (mut off_err, mut on_err) = (0.0, 0.0);
+    println!("period  scale   true-cost  offline-pred  online-pred");
+    for k in 0..periods {
+        let scale = capacity.scale_at(k, periods);
+        let (cost, power, final_q) =
+            L0Controller::simulate_model(&l0, &spec.phis, q, lambda, c / scale, 4);
+        let truth = GEntry {
+            cost,
+            power,
+            final_q,
+        };
+        let off = offline.query(lambda, c, q).cost;
+        let on = online.query(lambda, c, q).cost;
+        off_err += (off - truth.cost).abs();
+        on_err += (on - truth.cost).abs();
+        if k % 15 == 0 {
+            println!(
+                "{k:>6}  {scale:>5.2}  {:>9.3}  {off:>12.3}  {on:>11.3}",
+                truth.cost
+            );
+        }
+        online.update_online(lambda, c, q, truth, &cfg);
+        q = truth.final_q;
+    }
+    println!(
+        "\ntracking MAE over {periods} periods: offline-only {:.4}, online-updated {:.4} ({:.1}x better)",
+        off_err / periods as f64,
+        on_err / periods as f64,
+        off_err / on_err.max(1e-12),
+    );
+    println!(
+        "the offline map never notices the capacity step; the online map \
+         re-converges within a handful of periods of the failure."
+    );
+}
