@@ -54,7 +54,7 @@ mod table;
 
 pub use dense::{CostMap, DenseGrid};
 pub use learn::{train_dense, train_table, train_tree, GridSampler};
-pub use online::{Blend, BlendConfig};
+pub use online::{Blend, BlendConfig, BlendSchedule};
 pub use quantize::Quantizer;
 pub use regtree::{RegressionTree, TreeConfig, TreeError};
 pub use simplex::SimplexGrid;

@@ -93,6 +93,50 @@ impl BlendConfig {
     }
 }
 
+/// A pair of blend schedules the online learner switches between under
+/// drift detection: `steady` is the slow steady-state schedule (robust to
+/// per-period noise), `fast` the aggressive re-convergence schedule run
+/// for the detector's hold-off window after a drift fires. Keeping both
+/// in one value makes the switching site a single branch instead of two
+/// configs that can drift apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlendSchedule {
+    /// The steady-state schedule.
+    pub steady: BlendConfig,
+    /// The re-convergence schedule (`fast.learning_rate ≥
+    /// steady.learning_rate`).
+    pub fast: BlendConfig,
+}
+
+impl BlendSchedule {
+    /// A schedule pair over a shared prior weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is out of range (see [`BlendConfig::new`])
+    /// or `fast_rate < steady_rate`.
+    pub fn new(steady_rate: f64, fast_rate: f64, prior_weight: f64) -> Self {
+        assert!(
+            fast_rate >= steady_rate,
+            "fast rate {fast_rate} must be at least the steady rate {steady_rate}"
+        );
+        BlendSchedule {
+            steady: BlendConfig::new(steady_rate, prior_weight),
+            fast: BlendConfig::new(fast_rate, prior_weight),
+        }
+    }
+
+    /// The schedule to run at: `fast = true` selects the re-convergence
+    /// schedule.
+    pub fn select(&self, fast: bool) -> &BlendConfig {
+        if fast {
+            &self.fast
+        } else {
+            &self.steady
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +165,19 @@ mod tests {
     #[should_panic(expected = "learning rate")]
     fn zero_learning_rate_rejected() {
         let _ = BlendConfig::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn schedule_selects_by_rate() {
+        let s = BlendSchedule::new(0.2, 0.7, 4.0);
+        assert_eq!(s.select(false).learning_rate, 0.2);
+        assert_eq!(s.select(true).learning_rate, 0.7);
+        assert_eq!(s.select(true).prior_weight, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fast rate")]
+    fn inverted_schedule_rejected() {
+        let _ = BlendSchedule::new(0.5, 0.2, 4.0);
     }
 }

@@ -10,7 +10,7 @@
 //! exit non-zero unless online tracking error beats offline-only on at
 //! least two scenarios per substrate.
 
-use llc_bench::report::{check_mode, quick_mode};
+use llc_bench::report::{check_mode, quick_mode, runner_json};
 use llc_cluster::{
     AbstractionMap, FrequencyProfile, GEntry, L0Config, L0Controller, LearnSpec, MapBackend,
     MemberSpec,
@@ -192,7 +192,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"config\": {{\n    \"learning_rate\": {lr},\n    \"prior_weight\": {pw},\n    \"decay_factor\": {df},\n    \"decay_every\": {de},\n    \"periods\": {buckets},\n    \"period_seconds\": 120\n  }},\n  \"results\": {{\n{body}\n  }}\n}}\n",
+        "{{\n  {runner},\n  \"config\": {{\n    \"learning_rate\": {lr},\n    \"prior_weight\": {pw},\n    \"decay_factor\": {df},\n    \"decay_every\": {de},\n    \"periods\": {buckets},\n    \"period_seconds\": 120\n  }},\n  \"results\": {{\n{body}\n  }}\n}}\n",
+        runner = runner_json(threads),
         lr = cfg.learning_rate,
         pw = cfg.prior_weight,
         df = cfg.decay_factor,

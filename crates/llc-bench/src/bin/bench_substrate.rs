@@ -11,7 +11,7 @@
 //! `BENCH_substrate.json`.
 
 use llc_bench::microbench;
-use llc_bench::report::{check_mode, gate_ratio, json_number, quick_mode};
+use llc_bench::report::{check_mode, gate_ratio, json_number, median3, quick_mode, runner_json};
 use llc_cluster::{
     AbstractionMap, FrequencyProfile, L0Config, L1Config, L1Controller, LearnSpec, MapBackend,
     MemberSpec, ModuleCostModel, ModuleLearnSpec,
@@ -146,24 +146,30 @@ fn main() {
     let queries = query_points(&members[0], if short_iters { 50_000 } else { 200_000 });
     let probe_iters = if short_iters { 5 } else { 10 };
 
-    let hash_ns = microbench::bench(
-        "probe: LookupTable (hash) warm single map",
-        probe_iters,
-        || {
+    // Every timing below is the median of three runs (gate calibration:
+    // one bad scheduler draw on a shared runner must not move the gate).
+    let hash_ns = median3(|| {
+        microbench::bench(
+            "probe: LookupTable (hash) warm single map",
+            probe_iters,
+            || {
+                let mut acc = 0.0;
+                for q in &queries {
+                    acc += hash_map.query(q[0], q[1], q[2]).cost;
+                }
+                black_box(acc);
+            },
+        ) / queries.len() as f64
+    });
+    let dense_ns = median3(|| {
+        microbench::bench("probe: DenseGrid warm single map", probe_iters, || {
             let mut acc = 0.0;
             for q in &queries {
-                acc += hash_map.query(q[0], q[1], q[2]).cost;
+                acc += dense_map.query(q[0], q[1], q[2]).cost;
             }
             black_box(acc);
-        },
-    ) / queries.len() as f64;
-    let dense_ns = microbench::bench("probe: DenseGrid warm single map", probe_iters, || {
-        let mut acc = 0.0;
-        for q in &queries {
-            acc += dense_map.query(q[0], q[1], q[2]).cost;
-        }
-        black_box(acc);
-    }) / queries.len() as f64;
+        }) / queries.len() as f64
+    });
     let probe_speedup = hash_ns / dense_ns;
     println!(
         "single-map probe speedup: {probe_speedup:.1}x  ({:.1} -> {:.1} ns/probe)",
@@ -198,22 +204,24 @@ fn main() {
     let mut cluster_queries = cluster_queries;
     cluster_queries.sort_by_key(|(i, q)| ((q[2] * 1e6) as i64, *i));
 
-    let cluster_hash_ns =
+    let cluster_hash_ns = median3(|| {
         microbench::bench("probe: LookupTable 16-map cluster", probe_iters, || {
             let mut acc = 0.0;
             for (i, q) in &cluster_queries {
                 acc += cluster_hash[*i].query(q[0], q[1], q[2]).cost;
             }
             black_box(acc);
-        }) / cluster_queries.len() as f64;
-    let cluster_dense_ns =
+        }) / cluster_queries.len() as f64
+    });
+    let cluster_dense_ns = median3(|| {
         microbench::bench("probe: DenseGrid 16-map cluster", probe_iters, || {
             let mut acc = 0.0;
             for (i, q) in &cluster_queries {
                 acc += cluster_dense[*i].query(q[0], q[1], q[2]).cost;
             }
             black_box(acc);
-        }) / cluster_queries.len() as f64;
+        }) / cluster_queries.len() as f64
+    });
     let cluster_speedup = cluster_hash_ns / cluster_dense_ns;
     println!(
         "cluster probe speedup: {cluster_speedup:.1}x  ({:.1} -> {:.1} ns/probe)",
@@ -231,14 +239,20 @@ fn main() {
     let capacity: f64 = members.iter().map(|m| m.speed / m.c_prior).sum();
 
     llc_par::set_threads(1);
-    let started = Instant::now();
+    let baseline_maps_ms = median3(|| {
+        let started = Instant::now();
+        let maps: Vec<AbstractionMap> = members
+            .iter()
+            .map(|s| learn_map(s, learn_spec, MapBackend::Hash))
+            .collect();
+        black_box(&maps);
+        microbench::ms(started.elapsed())
+    });
     let baseline_hash_maps: Vec<AbstractionMap> = members
         .iter()
         .map(|s| learn_map(s, learn_spec, MapBackend::Hash))
         .collect();
-    let baseline_maps_ms = microbench::ms(started.elapsed());
 
-    let started = Instant::now();
     let sampler = llc_approx::GridSampler::new(vec![
         (0.0, capacity * 1.3, module_spec.lambda_steps),
         (0.7, 1.4, module_spec.c_steps),
@@ -249,34 +263,53 @@ fn main() {
             module_spec.active_steps.min(members.len()),
         ),
     ]);
-    let mut baseline_acc = 0.0;
-    for p in sampler.points() {
-        baseline_acc += simulate_module_baseline(
-            &l1_config,
-            &members,
-            &baseline_hash_maps,
-            p[0],
-            p[1],
-            p[2],
-            p[3].round() as usize,
-            module_spec.periods,
-        );
-    }
-    black_box(baseline_acc);
-    let baseline_module_ms = microbench::ms(started.elapsed());
+    let baseline_module_ms = median3(|| {
+        let started = Instant::now();
+        let mut baseline_acc = 0.0;
+        for p in sampler.points() {
+            baseline_acc += simulate_module_baseline(
+                &l1_config,
+                &members,
+                &baseline_hash_maps,
+                p[0],
+                p[1],
+                p[2],
+                p[3].round() as usize,
+                module_spec.periods,
+            );
+        }
+        black_box(baseline_acc);
+        microbench::ms(started.elapsed())
+    });
     llc_par::set_threads(0);
 
-    let started = Instant::now();
+    let new_maps_ms = median3(|| {
+        let started = Instant::now();
+        let maps: Vec<Arc<AbstractionMap>> = llc_par::par_map(&members, |s| {
+            Arc::new(learn_map(s, learn_spec, MapBackend::Dense))
+        });
+        black_box(&maps);
+        microbench::ms(started.elapsed())
+    });
     let new_maps: Vec<Arc<AbstractionMap>> = llc_par::par_map(&members, |s| {
         Arc::new(learn_map(s, learn_spec, MapBackend::Dense))
     });
-    let new_maps_ms = microbench::ms(started.elapsed());
 
-    let started = Instant::now();
-    let model =
-        ModuleCostModel::learn(&l1_config, &members, &new_maps, capacity * 1.3, module_spec);
-    black_box(model.tree_nodes());
-    let new_module_ms = microbench::ms(started.elapsed());
+    let new_module_ms = median3(|| {
+        // Fresh maps per run: the dense maps' out-of-grid replay memo
+        // warms during module learning, so timing three runs over one
+        // shared map set would measure memo-warm passes against the
+        // memo-less cold hash baseline — a different quantity than the
+        // first-train path the gate is meant to protect.
+        let run_maps: Vec<Arc<AbstractionMap>> = llc_par::par_map(&members, |s| {
+            Arc::new(learn_map(s, learn_spec, MapBackend::Dense))
+        });
+        let started = Instant::now();
+        let model =
+            ModuleCostModel::learn(&l1_config, &members, &run_maps, capacity * 1.3, module_spec);
+        black_box(model.tree_nodes());
+        microbench::ms(started.elapsed())
+    });
 
     let baseline_total = baseline_maps_ms + baseline_module_ms;
     let new_total = new_maps_ms + new_module_ms;
@@ -298,11 +331,24 @@ fn main() {
     let queues = vec![3usize; 4];
     let active = vec![true; 4];
     let decide_iters = if short_iters { 40 } else { 400 };
-    let hash_decide_ns = microbench::bench("decide: L1 over hash maps", decide_iters, || {
-        black_box(l1_hash.decide(black_box(&queues), black_box(&active)));
+    // Steady-state warmup on both substrates: a long-lived controller's
+    // dense maps fill their replay memo over its first decisions, and
+    // the gate must measure the same (steady) regime at every iteration
+    // count — otherwise the short check-mode run is partly cold while
+    // the committed full-run baseline is warm.
+    for _ in 0..40 {
+        black_box(l1_hash.decide(&queues, &active));
+        black_box(l1_dense.decide(&queues, &active));
+    }
+    let hash_decide_ns = median3(|| {
+        microbench::bench("decide: L1 over hash maps", decide_iters, || {
+            black_box(l1_hash.decide(black_box(&queues), black_box(&active)));
+        })
     });
-    let dense_decide_ns = microbench::bench("decide: L1 over dense maps", decide_iters, || {
-        black_box(l1_dense.decide(black_box(&queues), black_box(&active)));
+    let dense_decide_ns = median3(|| {
+        microbench::bench("decide: L1 over dense maps", decide_iters, || {
+            black_box(l1_dense.decide(black_box(&queues), black_box(&active)));
+        })
     });
     let decide_speedup = hash_decide_ns / dense_decide_ns;
     println!("decide speedup: {decide_speedup:.1}x");
@@ -342,7 +388,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"probes\": {{\n    \"query_mix\": \"70% in-grid, 30% out-of-grid, {n} queries\",\n    \"hash_ns_per_probe\": {hash_ns:.2},\n    \"dense_ns_per_probe\": {dense_ns:.2},\n    \"hash_probes_per_sec\": {hps:.0},\n    \"dense_probes_per_sec\": {dps:.0},\n    \"speedup\": {probe_speedup:.2}\n  }},\n  \"offline_learning\": {{\n    \"map_grid_points_per_member\": {map_points},\n    \"module_grid_points\": {module_points},\n    \"baseline\": \"serial, hash substrate, deep map clone per module grid point\",\n    \"baseline_map_learn_ms\": {baseline_maps_ms:.1},\n    \"baseline_module_learn_ms\": {baseline_module_ms:.1},\n    \"baseline_total_ms\": {baseline_total:.1},\n    \"new_map_learn_ms\": {new_maps_ms:.1},\n    \"new_module_learn_ms\": {new_module_ms:.1},\n    \"new_total_ms\": {new_total:.1},\n    \"speedup\": {learn_speedup:.2}\n  }},\n  \"l1_decide\": {{\n    \"hash_us\": {hdu:.1},\n    \"dense_us\": {ddu:.1},\n    \"speedup\": {decide_speedup:.2}\n  }}\n}}\n",
+        "{{\n  {runner},\n  \"timing\": \"median of 3 runs per measurement\",\n  \"probes\": {{\n    \"query_mix\": \"70% in-grid, 30% out-of-grid, {n} queries\",\n    \"hash_ns_per_probe\": {hash_ns:.2},\n    \"dense_ns_per_probe\": {dense_ns:.2},\n    \"hash_probes_per_sec\": {hps:.0},\n    \"dense_probes_per_sec\": {dps:.0},\n    \"speedup\": {probe_speedup:.2}\n  }},\n  \"offline_learning\": {{\n    \"map_grid_points_per_member\": {map_points},\n    \"module_grid_points\": {module_points},\n    \"baseline\": \"serial, hash substrate, deep map clone per module grid point\",\n    \"caveat\": \"measured at threads = {threads}; the speedup here is pure substrate (Arc-sharing + dense probes + replay memo) and llc-par multiplies it by core count on multi-core hosts\",\n    \"baseline_map_learn_ms\": {baseline_maps_ms:.1},\n    \"baseline_module_learn_ms\": {baseline_module_ms:.1},\n    \"baseline_total_ms\": {baseline_total:.1},\n    \"new_map_learn_ms\": {new_maps_ms:.1},\n    \"new_module_learn_ms\": {new_module_ms:.1},\n    \"new_total_ms\": {new_total:.1},\n    \"speedup\": {learn_speedup:.2}\n  }},\n  \"l1_decide\": {{\n    \"hash_us\": {hdu:.1},\n    \"dense_us\": {ddu:.1},\n    \"speedup\": {decide_speedup:.2}\n  }}\n}}\n",
+        runner = runner_json(threads),
         n = queries.len(),
         hps = 1e9 / hash_ns,
         dps = 1e9 / dense_ns,

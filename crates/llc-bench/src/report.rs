@@ -145,6 +145,44 @@ pub fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Median of three runs of a timing measurement — the gate-calibration
+/// primitive: a single timing run on a shared CI runner is hostage to
+/// scheduler noise, while the median of three discards one bad draw in
+/// either direction. Deterministic measurements (tracking MAEs) pass
+/// through unchanged since all three runs agree.
+pub fn median3<F: FnMut() -> f64>(mut measure: F) -> f64 {
+    let mut runs = [measure(), measure(), measure()];
+    runs.sort_by(f64::total_cmp);
+    runs[1]
+}
+
+/// The CPU model string of this machine (from `/proc/cpuinfo` on Linux),
+/// or `"unknown"` — recorded in the benchmark JSONs so baselines can be
+/// keyed per runner class instead of assuming one hardware profile.
+pub fn cpu_model() -> String {
+    if let Ok(text) = fs::read_to_string("/proc/cpuinfo") {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, name)) = rest.split_once(':') {
+                    return name.trim().to_string();
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+/// The `"runner"` JSON object shared by every benchmark report:
+/// `threads`, `os` and the CPU model, so a future per-runner-class
+/// baseline store has the key material it needs.
+pub fn runner_json(threads: usize) -> String {
+    format!(
+        "\"runner\": {{\n    \"threads\": {threads},\n    \"os\": \"{}\",\n    \"cpu\": \"{}\"\n  }}",
+        std::env::consts::OS,
+        cpu_model().replace('"', "'"),
+    )
+}
+
 /// One gate comparison: fail (return an error line) when `measured`
 /// falls more than `tolerance` (fractional) below `baseline`.
 pub fn gate_ratio(label: &str, measured: f64, baseline: f64, tolerance: f64) -> Result<(), String> {
@@ -218,5 +256,22 @@ mod tests {
     #[test]
     fn ms_formats() {
         assert_eq!(ms(std::time::Duration::from_micros(1500)), "1.500 ms");
+    }
+
+    #[test]
+    fn median3_discards_one_outlier() {
+        let mut runs = [10.0, 300.0, 11.0].into_iter();
+        assert_eq!(median3(|| runs.next().unwrap()), 11.0);
+        let mut runs = [5.0, 5.0, 5.0].into_iter();
+        assert_eq!(median3(|| runs.next().unwrap()), 5.0);
+    }
+
+    #[test]
+    fn runner_json_carries_key_material() {
+        let j = runner_json(4);
+        assert!(j.contains("\"threads\": 4"));
+        assert!(j.contains("\"os\""));
+        assert!(j.contains("\"cpu\""));
+        assert_eq!(json_number(&j, "runner", "threads"), Some(4.0));
     }
 }

@@ -107,7 +107,7 @@ impl ClusterPolicy for ThresholdPolicy {
     fn decide(&mut self, obs: &Observations) -> Vec<Action> {
         // Track service times (reference demand) and arrivals.
         for comp in &obs.computers {
-            if let Some(c) = comp.mean_demand {
+            if let Some(c) = comp.mean_demand() {
                 // mean_demand is machine-local; re-reference by speed.
                 let j = comp.index - self.module_base[comp.module];
                 let speed = self.members[comp.module][j].0;
@@ -304,10 +304,14 @@ mod tests {
                 index: i,
                 module: 0,
                 queue: 0,
-                arrivals: arrivals / 2,
-                completions: 10,
-                mean_response: Some(0.5),
-                mean_demand: Some(0.0175),
+                window: llc_sim::WindowStats {
+                    arrivals: arrivals / 2,
+                    completions: 10,
+                    response_sum: 5.0,
+                    demand_sum: 0.175,
+                    dropped: 0,
+                    energy: 0.0,
+                },
                 state,
                 frequency_index: 0,
             })

@@ -159,7 +159,7 @@ impl ClusterPolicy for CentralizedPolicy {
         let m = self.members.len();
         debug_assert_eq!(obs.computers.len(), m, "single-module policy");
         for comp in &obs.computers {
-            if let Some(c) = comp.mean_demand {
+            if let Some(c) = comp.mean_demand() {
                 self.c_filters[comp.index].observe(c);
             }
         }
@@ -177,7 +177,7 @@ impl ClusterPolicy for CentralizedPolicy {
                 if matches!(comp.state, PowerState::Off) {
                     continue;
                 }
-                let lambda_j = comp.arrivals as f64 / self.config.step_period;
+                let lambda_j = comp.arrivals() as f64 / self.config.step_period;
                 let (idx, _) = self.best_frequency(comp.index, lambda_j, comp.queue as f64);
                 if idx != comp.frequency_index {
                     actions.push(Action::SetFrequency(comp.index, idx));

@@ -1,4 +1,4 @@
-use crate::l1::{L1Config, LearnSpec, MemberSpec};
+use crate::l1::{L1Config, LearnSpec, MapBackend, MemberSpec};
 use crate::l2::{L2Config, ModuleLearnSpec};
 use crate::profiles::{ComputerProfile, FrequencyProfile};
 use crate::L0Config;
@@ -20,6 +20,13 @@ pub struct ScenarioConfig {
     pub learn: LearnSpec,
     /// Module-tree grid resolution.
     pub module_learn: ModuleLearnSpec,
+    /// Which lookup substrate backs the abstraction maps. `Dense` (the
+    /// default) is the fast fixed-envelope grid; `Hash` insert-or-blends
+    /// online outcomes *beyond* the trained envelope, growing coverage
+    /// from observed traffic — the substrate of choice for a closed-loop
+    /// run expected to drift into operating regions the offline pass
+    /// never sampled.
+    pub map_backend: MapBackend,
 }
 
 impl ScenarioConfig {
@@ -39,6 +46,15 @@ impl ScenarioConfig {
     pub fn with_coarse_learning(mut self) -> Self {
         self.learn = LearnSpec::coarse();
         self.module_learn = ModuleLearnSpec::coarse();
+        self
+    }
+
+    /// Back the abstraction maps with the hash substrate, whose online
+    /// updates grow coverage beyond the trained envelope (see
+    /// [`ScenarioConfig::map_backend`]).
+    #[must_use]
+    pub fn with_hash_maps(mut self) -> Self {
+        self.map_backend = MapBackend::Hash;
         self
     }
 
@@ -110,6 +126,7 @@ fn paper_scenario(p: usize) -> ScenarioConfig {
         l2: L2Config::paper_default(),
         learn: LearnSpec::default(),
         module_learn: ModuleLearnSpec::default(),
+        map_backend: MapBackend::Dense,
     }
 }
 

@@ -1,6 +1,8 @@
 use crate::policy::{Action, ClusterPolicy, ComputerObs, ModuleObs, Observations};
 use llc_sim::{ClusterConfig, ClusterSim, SimError};
-use llc_workload::{derive_seed, spread_arrivals, RequestSampler, Trace, VirtualStore};
+use llc_workload::{
+    derive_seed, spread_arrivals, CapacityProfile, RequestSampler, Trace, VirtualStore,
+};
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
@@ -180,6 +182,12 @@ pub struct Experiment {
     pub prewarmed: bool,
     /// Response-time target for violation accounting.
     pub response_target: f64,
+    /// Plant-side capacity drift injected over the run: every computer's
+    /// delivered capacity is scaled by the profile evaluated at the
+    /// current tick (the drift stays invisible to demand telemetry and
+    /// the power meter — the case the closed-loop hierarchy exists for).
+    /// `None` = nominal plant.
+    pub drift: Option<CapacityProfile>,
 }
 
 impl Experiment {
@@ -190,6 +198,7 @@ impl Experiment {
             seed,
             prewarmed: true,
             response_target: 4.0,
+            drift: None,
         }
     }
 
@@ -243,8 +252,25 @@ impl Experiment {
         let mut prev_comp_stats = vec![llc_sim::WindowStats::default(); num_computers];
         let mut prev_mod_stats = vec![llc_sim::WindowStats::default(); num_modules];
 
-        for tick in 0..ticks_trace.len() as u64 {
+        let total_ticks = ticks_trace.len();
+        let mut applied_scale = f64::NAN;
+        for tick in 0..total_ticks as u64 {
             let t = tick as f64 * self.t_l0;
+
+            // 0. Inject plant drift for this window (invisible to the
+            // controllers' telemetry by construction). Only on change:
+            // re-applying an unchanged scale would still re-time every
+            // in-service request and push a fresh departure event per
+            // computer per tick.
+            if let Some(profile) = &self.drift {
+                let scale = profile.scale_at(tick as usize, total_ticks);
+                if scale != applied_scale {
+                    for i in 0..num_computers {
+                        sim.set_service_scale(i, scale);
+                    }
+                    applied_scale = scale;
+                }
+            }
 
             // 1. Observe: previous window + instantaneous state.
             let computers: Vec<ComputerObs> = (0..num_computers)
@@ -253,15 +279,11 @@ impl Experiment {
                     let module = (0..num_modules)
                         .find(|&m| sim.module_members(m).contains(&i))
                         .expect("every computer belongs to a module");
-                    let w = &prev_comp_stats[i];
                     ComputerObs {
                         index: i,
                         module,
                         queue: c.queue_length(),
-                        arrivals: w.arrivals,
-                        completions: w.completions,
-                        mean_response: w.mean_response(),
-                        mean_demand: w.mean_demand(),
+                        window: prev_comp_stats[i],
                         state: c.state(),
                         frequency_index: c.frequency_index(),
                     }

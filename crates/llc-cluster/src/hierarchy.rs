@@ -1,8 +1,10 @@
-use crate::l1::{AbstractionMap, L1Controller, MemberSpec};
+use crate::l1::{AbstractionMap, GEntry, L1Controller, MemberSpec};
 use crate::l2::{L2Controller, ModuleCostModel, ModuleState};
 use crate::policy::{Action, ClusterPolicy, Observations};
 use crate::{L0Controller, ScenarioConfig};
-use llc_sim::PowerState;
+use llc_core::OnlineConfig;
+use llc_sim::{PowerState, WindowStats};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,6 +29,108 @@ impl LevelOverhead {
             Duration::ZERO
         } else {
             self.total / self.decisions as u32
+        }
+    }
+}
+
+/// How the hierarchy closes its own feedback loop (the paper's Fig. 2 is
+/// a *closed-loop* controller; before this mode existed the online path
+/// had to be driven by harness code calling
+/// [`L1Controller::record_outcome`]/[`L1Controller::learn_online`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClosedLoopMode {
+    /// No realized-outcome derivation at all (zero overhead) — the
+    /// default, matching the pre-closed-loop behaviour.
+    #[default]
+    Off,
+    /// Derive realized per-member outcomes and track the prequential
+    /// prediction error, but never touch the learned models. Outcomes
+    /// accumulate for [`HierarchicalPolicy::drain_realized_outcomes`] so
+    /// an external caller can drive the learning loop itself (the
+    /// caller-driven path, kept for comparison benches and tests).
+    Observe,
+    /// The full closed loop: derived outcomes are recorded into each
+    /// module's [`L1Controller`] and the [`L2Controller`] residual layer
+    /// and absorbed every period — the hierarchy self-corrects with no
+    /// harness code.
+    Learn,
+}
+
+/// One realized per-member outcome derived from plant telemetry over an
+/// L1 window: the operating point the member actually served at and the
+/// measured [`GEntry`] it produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealizedOutcome {
+    /// Module index.
+    pub module: usize,
+    /// Member position within the module.
+    pub member: usize,
+    /// Arrival rate actually routed to the member over the window
+    /// (requests/second).
+    pub lambda: f64,
+    /// Queue at the start of the window.
+    pub q0: f64,
+    /// Measured outcome: average cost per L0 period, mean power drawn,
+    /// end-of-window queue.
+    pub entry: GEntry,
+}
+
+/// Internal closed-loop state: telemetry accumulators between slow-level
+/// ticks plus the snapshots that anchor each realized outcome to the
+/// operating point its decision was taken at.
+#[derive(Debug)]
+struct ClosedLoop {
+    mode: ClosedLoopMode,
+    cfg: OnlineConfig,
+    /// Per-computer sum of realized per-L0-window costs over the running
+    /// L1 window (`Q·slack + R·power` per window, the L0 cost function
+    /// evaluated on measurements).
+    cost_acc: Vec<f64>,
+    /// Per-computer realized window stats over the running L1 window.
+    window_acc: Vec<WindowStats>,
+    /// Queue per computer at the previous L1 tick (the `q₀` the previous
+    /// decision keyed its map queries on).
+    q0: Vec<f64>,
+    /// Whether the member was serving (α = 1, powered `On`/`Draining`)
+    /// over the period that just ended — boot dead time and off periods
+    /// produce no valid map outcome.
+    served: Vec<bool>,
+    /// Set after the first L1 tick (the first window has no snapshot).
+    have_snapshot: bool,
+    /// Per-module sum of realized per-L0-window costs over the running
+    /// L2 window.
+    module_cost_acc: Vec<f64>,
+    /// Per-module arrivals over the running L2 window.
+    module_arrivals: Vec<u64>,
+    /// Module states at the previous L2 tick (the key the L2 outcome is
+    /// recorded at).
+    l2_snapshot: Option<Vec<ModuleState>>,
+    /// Prequential tracking error: `|predicted − realized|` cost summed
+    /// over derived outcomes, measured against the maps *before* any
+    /// update from the outcome.
+    err_sum: f64,
+    err_n: u64,
+    /// Outcomes awaiting an external caller (Observe mode only), bounded
+    /// by the configured log capacity (oldest evicted).
+    pending: VecDeque<RealizedOutcome>,
+}
+
+impl ClosedLoop {
+    fn new(mode: ClosedLoopMode, cfg: OnlineConfig, computers: usize, modules: usize) -> Self {
+        ClosedLoop {
+            mode,
+            cfg,
+            cost_acc: vec![0.0; computers],
+            window_acc: vec![WindowStats::default(); computers],
+            q0: vec![0.0; computers],
+            served: vec![false; computers],
+            have_snapshot: false,
+            module_cost_acc: vec![0.0; modules],
+            module_arrivals: vec![0; modules],
+            l2_snapshot: None,
+            err_sum: 0.0,
+            err_n: 0,
+            pending: VecDeque::new(),
         }
     }
 }
@@ -59,6 +163,13 @@ pub struct HierarchicalPolicy {
     gamma_module_history: Vec<(u64, Vec<f64>)>,
     // Overhead accounting, indexed L0 = 0, L1 = 1, L2 = 2.
     overhead: [LevelOverhead; 3],
+    /// L2→L1 feed-forward of the decided split (from `L2Config`).
+    feed_forward: bool,
+    /// The split in force (tracks re-splits for the feed-forward).
+    last_gamma: Option<Vec<f64>>,
+    /// In-hierarchy feedback state, present once a closed-loop mode is
+    /// enabled.
+    closed_loop: Option<ClosedLoop>,
 }
 
 impl HierarchicalPolicy {
@@ -85,7 +196,7 @@ impl HierarchicalPolicy {
                 &scenario.l0,
                 m,
                 scenario.learn,
-                crate::MapBackend::Dense,
+                scenario.map_backend,
             ))
         });
         let mut flat_maps = flat_maps.into_iter();
@@ -158,7 +269,108 @@ impl HierarchicalPolicy {
             active_history: Vec::new(),
             gamma_module_history: Vec::new(),
             overhead: [LevelOverhead::default(); 3],
+            feed_forward: scenario.l2.feed_forward,
+            last_gamma: None,
+            closed_loop: None,
         }
+    }
+
+    /// Close the loop in-hierarchy: from now on the policy derives
+    /// realized per-member outcomes from the plant telemetry it already
+    /// receives (window response slack + energy + end queue), records
+    /// them into its own L1 controllers and the L2 residual layer, and
+    /// absorbs them every period — no caller-side
+    /// [`L1Controller::record_outcome`]/[`L1Controller::learn_online`]
+    /// required.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range knobs (see [`OnlineConfig::validated`]).
+    pub fn enable_closed_loop(&mut self, cfg: OnlineConfig) {
+        let cfg = cfg.validated();
+        // Unconditional: `cfg` defines the whole loop's knobs. Re-enabling
+        // an already-online controller resets its pending log and
+        // detectors to the new configuration rather than silently mixing
+        // an older one into the closed loop.
+        for l1 in &mut self.l1s {
+            l1.enable_online(cfg);
+        }
+        if let Some(l2) = self.l2.as_mut() {
+            l2.enable_online(cfg);
+        }
+        self.closed_loop = Some(ClosedLoop::new(
+            ClosedLoopMode::Learn,
+            cfg,
+            self.l0s.len(),
+            self.members.len(),
+        ));
+    }
+
+    /// Derive and expose realized outcomes without learning from them:
+    /// the policy tracks its prequential prediction error and queues each
+    /// outcome for [`HierarchicalPolicy::drain_realized_outcomes`], but
+    /// never touches its learned models. This is the caller-driven
+    /// feedback path (the pre-closed-loop wiring) and the offline-only
+    /// control arm of the closed-loop benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range knobs (see [`OnlineConfig::validated`]).
+    pub fn enable_outcome_tracking(&mut self, cfg: OnlineConfig) {
+        let cfg = cfg.validated();
+        self.closed_loop = Some(ClosedLoop::new(
+            ClosedLoopMode::Observe,
+            cfg,
+            self.l0s.len(),
+            self.members.len(),
+        ));
+    }
+
+    /// The closed-loop mode in force.
+    pub fn closed_loop_mode(&self) -> ClosedLoopMode {
+        self.closed_loop
+            .as_ref()
+            .map_or(ClosedLoopMode::Off, |cl| cl.mode)
+    }
+
+    /// Mean prequential tracking error of the abstraction maps against
+    /// realized per-member outcomes (`|predicted − realized|` cost,
+    /// measured before each outcome is absorbed), or `None` before any
+    /// outcome was derived.
+    pub fn tracking_error(&self) -> Option<f64> {
+        let cl = self.closed_loop.as_ref()?;
+        (cl.err_n > 0).then(|| cl.err_sum / cl.err_n as f64)
+    }
+
+    /// Realized outcomes derived so far.
+    pub fn tracking_samples(&self) -> u64 {
+        self.closed_loop.as_ref().map_or(0, |cl| cl.err_n)
+    }
+
+    /// Drain the outcomes queued in [`ClosedLoopMode::Observe`] mode
+    /// (oldest first; empty in other modes — `Learn` consumes outcomes
+    /// internally).
+    pub fn drain_realized_outcomes(&mut self) -> Vec<RealizedOutcome> {
+        self.closed_loop
+            .as_mut()
+            .map_or_else(Vec::new, |cl| cl.pending.drain(..).collect())
+    }
+
+    /// Online observations blended into the learned models so far,
+    /// summed over every L1 and the L2.
+    pub fn online_updates(&self) -> u64 {
+        let l1: u64 = self.l1s.iter().map(|l| l.online_updates()).sum();
+        l1 + self.l2.as_ref().map_or(0, |l2| l2.online_updates())
+    }
+
+    /// `true` once any level's drift detector reports that residuals
+    /// stopped being local (see `llc_core::DriftDetector`): incremental
+    /// blending is patching a model that is wrong everywhere, and an
+    /// offline re-train ([`HierarchicalPolicy::build`]) should be
+    /// scheduled.
+    pub fn retrain_recommended(&self) -> bool {
+        self.l1s.iter().any(|l| l.retrain_recommended())
+            || self.l2.as_ref().is_some_and(|l2| l2.retrain_recommended())
     }
 
     /// Number of computers managed.
@@ -189,6 +401,18 @@ impl HierarchicalPolicy {
     /// Panics if `m` is out of range.
     pub fn l1(&self, m: usize) -> &L1Controller {
         &self.l1s[m]
+    }
+
+    /// Mutable access to the L1 controller of module `m` — the
+    /// caller-driven feedback path: enable online learning and replay
+    /// outcomes drained via
+    /// [`HierarchicalPolicy::drain_realized_outcomes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn l1_mut(&mut self, m: usize) -> &mut L1Controller {
+        &mut self.l1s[m]
     }
 
     /// The L2 controller, if the scenario has multiple modules.
@@ -223,8 +447,8 @@ impl ClusterPolicy for HierarchicalPolicy {
 
         // Accumulate windows and feed the per-computer forecasters.
         for comp in &obs.computers {
-            self.l0s[comp.index].observe(comp.arrivals, comp.mean_demand);
-            if let Some(c) = comp.mean_demand {
+            self.l0s[comp.index].observe(comp.window.arrivals, comp.window.mean_demand());
+            if let Some(c) = comp.window.mean_demand() {
                 self.member_demand_sum[comp.index] += c;
                 self.member_demand_n[comp.index] += 1;
             }
@@ -234,12 +458,77 @@ impl ClusterPolicy for HierarchicalPolicy {
             self.global_arrivals_acc += module.arrivals;
         }
 
+        // Closed loop, step 1: fold the realized window into the running
+        // L1/L2 accumulators. The realized per-window cost is the L0 cost
+        // function (eq. 6–7) evaluated on measurements instead of model
+        // predictions — and it must use the *same functional* the model
+        // uses: the response implied by the end-of-window queue at the
+        // *service rate*, `r = (1 + q_end) / μ̂`, not the mean response of
+        // the window's completions. (In a backlog-drain window the
+        // completions' mean response reflects waits accrued under an
+        // earlier decision, while the model charges each period its
+        // end-state response — mixing the two would make every drain
+        // window look like drift.) `completions / T_L0` estimates the
+        // service rate only while the server stays busy; with an empty
+        // end queue it measures throughput instead (λ, not μ), which
+        // would charge an almost-idle member enormous phantom slack. So
+        // slack evidence is only taken from windows that end backlogged —
+        // exactly the windows where the model's own slack is non-trivial
+        // (at q_end = 0 the model's response is ĉ/φ, far under r*).
+        if let Some(cl) = self.closed_loop.as_mut() {
+            for comp in &obs.computers {
+                let cfg = self.l0s[comp.index].config();
+                let slack = if comp.queue > 0 && comp.window.completions > 0 {
+                    let r_implied =
+                        (1.0 + comp.queue as f64) * cfg.period / comp.window.completions as f64;
+                    (r_implied - cfg.response_target).max(0.0)
+                } else {
+                    // Drained or silent window: the divisor would
+                    // measure throughput rather than service rate, and
+                    // the model's own slack at an empty queue is ~0 —
+                    // charge none.
+                    0.0
+                };
+                let power = comp.window.mean_power(cfg.period);
+                let cost = cfg.q_weight * slack + cfg.r_weight * power;
+                cl.cost_acc[comp.index] += cost;
+                cl.window_acc[comp.index].absorb(&comp.window);
+                cl.module_cost_acc[comp.module] += cost;
+            }
+            for module in &obs.modules {
+                cl.module_arrivals[module.index] += module.arrivals;
+            }
+        }
+
         // --- L2: split global load over modules (top-down first). ---
         if obs.tick.is_multiple_of(self.l2_every) {
             if let Some(l2) = self.l2.as_mut() {
                 let started = Instant::now();
                 l2.observe(self.global_arrivals_acc);
                 self.global_arrivals_acc = 0;
+
+                // Closed loop, L2 leg: the realized per-L1-period cost of
+                // each module over the window that just ended, recorded
+                // at the state the previous decision split against, then
+                // absorbed into the residual layer before this decision
+                // consults the models.
+                if let Some(cl) = self.closed_loop.as_mut() {
+                    if let (ClosedLoopMode::Learn, Some(snapshot)) =
+                        (cl.mode, cl.l2_snapshot.as_ref())
+                    {
+                        let period = self.l2_every as f64 * self.l0s[0].config().period;
+                        for (m, state) in snapshot.iter().enumerate() {
+                            let lambda = cl.module_arrivals[m] as f64 / period;
+                            let realized =
+                                cl.module_cost_acc[m] * self.l1_every as f64 / self.l2_every as f64;
+                            l2.record_outcome(m, lambda, *state, realized);
+                        }
+                        l2.learn_online();
+                    }
+                    cl.module_cost_acc.iter_mut().for_each(|c| *c = 0.0);
+                    cl.module_arrivals.iter_mut().for_each(|a| *a = 0);
+                }
+
                 let states: Vec<ModuleState> = (0..self.members.len())
                     .map(|m| {
                         let qs: f64 = self.members[m]
@@ -258,6 +547,28 @@ impl ClusterPolicy for HierarchicalPolicy {
                     })
                     .collect();
                 let decision = l2.decide(&states);
+                if let Some(cl) = self.closed_loop.as_mut() {
+                    cl.l2_snapshot = Some(states);
+                }
+
+                // Feed the decided split forward into each re-split
+                // module's λ forecast: the module's own trailing forecast
+                // only sees the new share a full period (one boot dead
+                // time) late, which is exactly the lag the L1/L2
+                // oscillation feeds on.
+                if self.feed_forward {
+                    let lambda_g = l2.lambda_estimate();
+                    if let Some(prev) = &self.last_gamma {
+                        for (m, (&new, &old)) in decision.gamma.iter().zip(prev.iter()).enumerate()
+                        {
+                            if (new - old).abs() > 1e-9 {
+                                self.l1s[m].feed_forward_lambda(new * lambda_g);
+                            }
+                        }
+                    }
+                }
+                self.last_gamma = Some(decision.gamma.clone());
+
                 self.gamma_module_history
                     .push((obs.tick, decision.gamma.clone()));
                 actions.push(Action::SetModuleWeights(decision.gamma));
@@ -295,6 +606,55 @@ impl ClusterPolicy for HierarchicalPolicy {
                     self.member_demand_n[i] = 0;
                 }
 
+                // Closed loop, L1 leg: turn the window that just ended
+                // into one realized GEntry per serving member — the rate
+                // actually routed, the measured cost/power, the queue
+                // left behind — measure the prequential prediction error,
+                // and (in Learn mode) absorb the outcomes into this
+                // module's abstraction maps before deciding on them.
+                if let Some(cl) = self.closed_loop.as_mut() {
+                    if cl.have_snapshot {
+                        let period = self.l1_every as f64 * self.l0s[0].config().period;
+                        let cs = self.l1s[m].c_estimates();
+                        for (pos, &i) in self.members[m].iter().enumerate() {
+                            if !cl.served[i] {
+                                continue;
+                            }
+                            let lambda = cl.window_acc[i].arrivals as f64 / period;
+                            let entry = GEntry {
+                                cost: cl.cost_acc[i] / self.l1_every as f64,
+                                power: cl.window_acc[i].energy / period,
+                                final_q: obs.computers[i].queue as f64,
+                            };
+                            let predicted =
+                                self.l1s[m].map(pos).query(lambda, cs[pos], cl.q0[i]).cost;
+                            cl.err_sum += (predicted - entry.cost).abs();
+                            cl.err_n += 1;
+                            match cl.mode {
+                                ClosedLoopMode::Learn => {
+                                    self.l1s[m].record_outcome(pos, lambda, cl.q0[i], entry);
+                                }
+                                ClosedLoopMode::Observe => {
+                                    if cl.pending.len() >= cl.cfg.log_capacity {
+                                        cl.pending.pop_front();
+                                    }
+                                    cl.pending.push_back(RealizedOutcome {
+                                        module: m,
+                                        member: pos,
+                                        lambda,
+                                        q0: cl.q0[i],
+                                        entry,
+                                    });
+                                }
+                                ClosedLoopMode::Off => {}
+                            }
+                        }
+                        if cl.mode == ClosedLoopMode::Learn {
+                            self.l1s[m].learn_online();
+                        }
+                    }
+                }
+
                 let queues: Vec<usize> = self.members[m]
                     .iter()
                     .map(|&i| obs.computers[i].queue)
@@ -304,6 +664,24 @@ impl ClusterPolicy for HierarchicalPolicy {
                     .map(|&i| !matches!(obs.computers[i].state, PowerState::Off))
                     .collect();
                 let decision = self.l1s[m].decide(&queues, &active);
+
+                // Closed loop: anchor the coming window to the operating
+                // point this decision was taken at. Only members that can
+                // actually serve the period (α = 1 and powered, not mid
+                // boot) produce a valid map outcome — boot dead time and
+                // off periods would poison the cells.
+                if let Some(cl) = self.closed_loop.as_mut() {
+                    for (pos, &i) in self.members[m].iter().enumerate() {
+                        cl.q0[i] = obs.computers[i].queue as f64;
+                        cl.cost_acc[i] = 0.0;
+                        cl.window_acc[i] = WindowStats::default();
+                        cl.served[i] = decision.alpha[pos]
+                            && matches!(
+                                obs.computers[i].state,
+                                PowerState::On | PowerState::Draining
+                            );
+                    }
+                }
 
                 for (pos, &i) in self.members[m].iter().enumerate() {
                     let draining = matches!(obs.computers[i].state, PowerState::Draining);
@@ -362,6 +740,9 @@ impl ClusterPolicy for HierarchicalPolicy {
                 self.overhead[1].record(started.elapsed());
             }
             self.active_history.push((obs.tick, total_active));
+            if let Some(cl) = self.closed_loop.as_mut() {
+                cl.have_snapshot = true;
+            }
         }
 
         // --- L0: per-computer frequency, every tick, active machines. ---
@@ -400,10 +781,14 @@ mod tests {
                 index: i,
                 module: 0,
                 queue: 0,
-                arrivals: arrivals_per_comp,
-                completions: arrivals_per_comp,
-                mean_response: Some(0.1),
-                mean_demand: Some(0.0175),
+                window: WindowStats {
+                    arrivals: arrivals_per_comp,
+                    completions: arrivals_per_comp,
+                    response_sum: 0.1 * arrivals_per_comp as f64,
+                    demand_sum: 0.0175 * arrivals_per_comp as f64,
+                    dropped: 0,
+                    energy: 1.75 * 30.0,
+                },
                 state: PowerState::On,
                 frequency_index: 0,
             })

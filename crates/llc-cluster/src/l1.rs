@@ -1,9 +1,11 @@
 use crate::{L0Config, L0Controller};
 use llc_approx::{
-    train_dense, train_table, Blend, BlendConfig, CostMap, DenseGrid, GridSampler, LookupTable,
-    SimplexGrid,
+    train_dense, train_table, Blend, BlendConfig, BlendSchedule, CostMap, DenseGrid, GridSampler,
+    LookupTable, SimplexGrid,
 };
-use llc_core::{BoundedSearch, ObservationLog, OnlineConfig, UncertaintyBand};
+use llc_core::{
+    BoundedSearch, DriftDetector, LearnRate, ObservationLog, OnlineConfig, UncertaintyBand,
+};
 use llc_forecast::{Ewma, Forecaster, LocalLinearTrend};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -371,10 +373,24 @@ impl AbstractionMap {
         outcome: GEntry,
         cfg: &OnlineConfig,
     ) -> f64 {
+        let blend = BlendConfig::new(cfg.learning_rate, cfg.prior_weight);
+        self.update_online_with(lambda, c, q0, outcome, &blend)
+    }
+
+    /// [`AbstractionMap::update_online`] under an explicit blend
+    /// schedule — the drift-detector rate switch picks between the
+    /// steady-state and fast re-convergence schedules per update.
+    pub fn update_online_with(
+        &mut self,
+        lambda: f64,
+        c: f64,
+        q0: f64,
+        outcome: GEntry,
+        blend: &BlendConfig,
+    ) -> f64 {
         let lambda = lambda.max(0.0);
         let q0 = q0.max(0.0);
-        let blend = BlendConfig::new(cfg.learning_rate, cfg.prior_weight);
-        self.table.update(&[lambda, c, q0], &outcome, &blend)
+        self.table.update(&[lambda, c, q0], &outcome, blend)
     }
 
     /// Staleness sweep: shrink every cell's online confidence by
@@ -524,6 +540,10 @@ pub struct L1Controller {
     /// scratch each period stalls wherever its fresh starting point lands;
     /// continuing from the standing split keeps refined allocations.
     prev_gamma: Vec<f64>,
+    /// One-shot λ override pushed down by the L2 when it re-splits the
+    /// cluster (see [`L1Controller::feed_forward_lambda`]); consumed by
+    /// the next decision in place of the trailing forecast.
+    pending_feed_forward: Option<f64>,
     last_prediction: Option<f64>,
     /// (actual rate, predicted rate) per L1 period — Fig. 4's Kalman plot.
     forecast_history: Vec<(f64, f64)>,
@@ -543,12 +563,20 @@ pub struct L1Controller {
 #[derive(Debug, Clone)]
 struct OnlineL1 {
     cfg: OnlineConfig,
+    /// Steady-state vs fast re-convergence blend schedules; the per
+    /// member drift detectors pick between them.
+    schedule: BlendSchedule,
     /// Realized per-member outcomes awaiting absorption.
     logs: Vec<ObservationLog<GEntry>>,
+    /// One Page–Hinkley detector per member over its normalized online
+    /// residual stream (`(realized − predicted) / max(1, |predicted|)`).
+    detectors: Vec<DriftDetector>,
     /// Learning passes run (drives the staleness-sweep cadence).
     passes: u64,
     /// Observations actually blended into a map (weight > 0).
     applied: u64,
+    /// Observations blended at the fast re-convergence rate.
+    fast_applied: u64,
 }
 
 impl L1Controller {
@@ -593,6 +621,7 @@ impl L1Controller {
             c_filters,
             prev_alpha: vec![false; m],
             prev_gamma: vec![0.0; m],
+            pending_feed_forward: None,
             last_prediction: None,
             forecast_history: Vec::new(),
             total_states: 0,
@@ -616,11 +645,23 @@ impl L1Controller {
             .iter()
             .map(|_| ObservationLog::new(cfg.log_capacity))
             .collect();
+        let detectors = self
+            .members
+            .iter()
+            .map(|_| DriftDetector::new(cfg.detector))
+            .collect();
         self.online = Some(OnlineL1 {
             cfg,
+            schedule: BlendSchedule::new(
+                cfg.learning_rate,
+                cfg.fast_learning_rate,
+                cfg.prior_weight,
+            ),
             logs,
+            detectors,
             passes: 0,
             applied: 0,
+            fast_applied: 0,
         });
     }
 
@@ -660,6 +701,12 @@ impl L1Controller {
     /// first), then run the staleness sweep on the configured cadence.
     /// Returns the number of observations blended in.
     ///
+    /// Each outcome first feeds the member's drift detector with the
+    /// normalized residual against the *current* map; while the detector
+    /// reports [`LearnRate::Fast`] (a drift fired within its hold-off
+    /// window) the blend runs at the fast re-convergence rate, otherwise
+    /// at the steady-state rate.
+    ///
     /// The maps are `Arc`-shared; a map still shared with another owner
     /// (offline learning in flight) is copied once on first update and
     /// diverges from there — in the steady running hierarchy each L1 is
@@ -675,22 +722,81 @@ impl L1Controller {
             .expect("call enable_online before learn_online");
         let cfg = online.cfg;
         let mut applied = 0usize;
+        let mut fast_applied = 0usize;
         for (member, log) in online.logs.iter_mut().enumerate() {
             for obs in log.drain() {
+                let predicted = self.maps[member]
+                    .query(obs.key[0], obs.key[1], obs.key[2])
+                    .cost;
+                let residual = (obs.outcome.cost - predicted) / predicted.abs().max(1.0);
+                online.detectors[member].observe(residual);
+                let fast = online.detectors[member].rate() == LearnRate::Fast;
+                let blend = *online.schedule.select(fast);
                 let map = Arc::make_mut(&mut self.maps[member]);
-                if map.update_online(obs.key[0], obs.key[1], obs.key[2], obs.outcome, &cfg) > 0.0 {
+                if map.update_online_with(obs.key[0], obs.key[1], obs.key[2], obs.outcome, &blend)
+                    > 0.0
+                {
                     applied += 1;
+                    if fast {
+                        fast_applied += 1;
+                    }
                 }
             }
         }
         online.passes += 1;
         online.applied += applied as u64;
+        online.fast_applied += fast_applied as u64;
         if cfg.decay_every > 0 && online.passes.is_multiple_of(cfg.decay_every) {
             for map in &mut self.maps {
                 Arc::make_mut(map).decay_confidence(cfg.decay_factor);
             }
         }
         applied
+    }
+
+    /// Drift detections fired across the members' residual streams.
+    pub fn drift_detections(&self) -> u64 {
+        self.online
+            .as_ref()
+            .map_or(0, |o| o.detectors.iter().map(|d| d.detections()).sum())
+    }
+
+    /// Observations blended at the fast re-convergence rate so far.
+    pub fn fast_updates(&self) -> u64 {
+        self.online.as_ref().map_or(0, |o| o.fast_applied)
+    }
+
+    /// The blend rate member `member`'s updates currently run at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if online learning is not enabled or `member` is out of
+    /// range.
+    pub fn member_learn_rate(&self, member: usize) -> LearnRate {
+        self.online
+            .as_ref()
+            .expect("call enable_online before member_learn_rate")
+            .detectors[member]
+            .rate()
+    }
+
+    /// `true` once any member's detector reports that residuals stopped
+    /// being local — the incremental learner is patching a model that is
+    /// wrong everywhere, and an offline re-train should be scheduled.
+    pub fn retrain_recommended(&self) -> bool {
+        self.online
+            .as_ref()
+            .is_some_and(|o| o.detectors.iter().any(|d| d.retrain_recommended()))
+    }
+
+    /// Clear every member detector's re-train latch (call after
+    /// scheduling the re-train).
+    pub fn acknowledge_retrain(&mut self) {
+        if let Some(online) = self.online.as_mut() {
+            for d in &mut online.detectors {
+                d.acknowledge_retrain();
+            }
+        }
     }
 
     /// Number of computers managed.
@@ -757,6 +863,17 @@ impl L1Controller {
         self.lambda_forecast.predict_one().max(0.0)
     }
 
+    /// Feed the upper level's re-split decision forward: the next
+    /// decision plans against `lambda` (the share of the global forecast
+    /// the L2 just assigned this module) instead of the module's own
+    /// trailing forecast, which only sees a re-split one period — one
+    /// boot dead time — after the fact. One-shot: subsequent decisions
+    /// return to the trailing forecast, which by then has observed the
+    /// new share.
+    pub fn feed_forward_lambda(&mut self, lambda: f64) {
+        self.pending_feed_forward = Some(lambda.max(0.0));
+    }
+
     /// The current uncertainty half-width `δ`.
     pub fn delta(&self) -> f64 {
         self.band.delta()
@@ -788,7 +905,12 @@ impl L1Controller {
         assert_eq!(active.len(), self.members.len(), "state per member");
         let m = self.members.len();
 
-        let lambda_hat = self.lambda_forecast.predict_one().max(0.0);
+        let lambda_hat = match self.pending_feed_forward.take() {
+            // The L2 just re-split: plan for the assigned share now, not
+            // a dead time from now.
+            Some(ff) => ff,
+            None => self.lambda_forecast.predict_one().max(0.0),
+        };
         self.last_prediction = Some(lambda_hat);
         let delta = if self.config.use_uncertainty_band {
             self.band.delta()

@@ -1,7 +1,9 @@
 use crate::l1::{AbstractionMap, L1Config, L1Controller, MemberSpec};
 use llc_approx::SimplexGrid;
-use llc_approx::{BlendConfig, CostMap, DenseGrid, GridSampler, RegressionTree, TreeConfig};
-use llc_core::{BoundedSearch, ObservationLog, OnlineConfig};
+use llc_approx::{
+    BlendConfig, BlendSchedule, CostMap, DenseGrid, GridSampler, RegressionTree, TreeConfig,
+};
+use llc_core::{BoundedSearch, DriftDetector, LearnRate, ObservationLog, OnlineConfig};
 use llc_forecast::{Forecaster, LocalLinearTrend};
 use std::sync::Arc;
 
@@ -292,17 +294,29 @@ impl ModuleCostModel {
         realized_cost: f64,
         cfg: &OnlineConfig,
     ) -> f64 {
+        let blend = BlendConfig::new(cfg.learning_rate, cfg.prior_weight);
+        self.observe_outcome_with(lambda, c_factor, q_mean, active, realized_cost, &blend)
+    }
+
+    /// [`ModuleCostModel::observe_outcome`] under an explicit blend
+    /// schedule — the drift-detector rate switch picks between the
+    /// steady-state and fast re-convergence schedules per update.
+    pub fn observe_outcome_with(
+        &mut self,
+        lambda: f64,
+        c_factor: f64,
+        q_mean: f64,
+        active: usize,
+        realized_cost: f64,
+        blend: &BlendConfig,
+    ) -> f64 {
         if q_mean.max(0.0) > self.q_hi {
             return 0.0;
         }
         let key = self.key_of(lambda, c_factor, q_mean, active);
         let target = realized_cost - self.base_predict(lambda, c_factor, q_mean, active);
         match self.residual.as_mut() {
-            Some(grid) => grid.update(
-                &key,
-                &target,
-                &BlendConfig::new(cfg.learning_rate, cfg.prior_weight),
-            ),
+            Some(grid) => grid.update(&key, &target, blend),
             None => 0.0,
         }
     }
@@ -384,6 +398,12 @@ pub struct L2Config {
     /// this relative margin (tree predictions are noisy; a flapping split
     /// costs boot dead times downstream).
     pub switch_margin: f64,
+    /// Feed each re-split forward into the affected modules' λ forecasts
+    /// (see `L1Controller::feed_forward_lambda`): without it a module's
+    /// own trailing forecast only sees its new share one L1 period — one
+    /// boot dead time — after the split moved, the lag the L1/L2
+    /// timescale oscillation feeds on. Disable for ablation only.
+    pub feed_forward: bool,
 }
 
 impl L2Config {
@@ -394,6 +414,7 @@ impl L2Config {
             gamma_quantum: 0.1,
             max_move_quanta: 1,
             switch_margin: 0.1,
+            feed_forward: true,
         }
     }
 }
@@ -446,7 +467,13 @@ pub struct L2Controller {
 #[derive(Debug, Clone)]
 struct OnlineL2 {
     cfg: OnlineConfig,
+    /// Steady-state vs fast re-convergence blend schedules; the per
+    /// module drift detectors pick between them.
+    schedule: BlendSchedule,
     log: ObservationLog<(usize, f64)>,
+    /// One Page–Hinkley detector per module over its normalized online
+    /// residual stream.
+    detectors: Vec<DriftDetector>,
     /// Learning passes run (drives the staleness-sweep cadence).
     passes: u64,
     /// Observations actually blended into a model (weight > 0).
@@ -494,7 +521,17 @@ impl L2Controller {
         }
         self.online = Some(OnlineL2 {
             cfg,
+            schedule: BlendSchedule::new(
+                cfg.learning_rate,
+                cfg.fast_learning_rate,
+                cfg.prior_weight,
+            ),
             log: ObservationLog::new(cfg.log_capacity),
+            detectors: self
+                .models
+                .iter()
+                .map(|_| DriftDetector::new(cfg.detector))
+                .collect(),
             passes: 0,
             applied: 0,
         });
@@ -560,13 +597,19 @@ impl L2Controller {
         let mut applied = 0usize;
         for obs in online.log.drain() {
             let (module, realized_cost) = obs.outcome;
-            let w = self.models[module].observe_outcome(
+            let active = obs.key[3].round() as usize;
+            let predicted = self.models[module].predict(obs.key[0], obs.key[1], obs.key[2], active);
+            let residual = (realized_cost - predicted) / predicted.abs().max(1.0);
+            online.detectors[module].observe(residual);
+            let fast = online.detectors[module].rate() == LearnRate::Fast;
+            let blend = *online.schedule.select(fast);
+            let w = self.models[module].observe_outcome_with(
                 obs.key[0],
                 obs.key[1],
                 obs.key[2],
-                obs.key[3].round() as usize,
+                active,
                 realized_cost,
-                &cfg,
+                &blend,
             );
             if w > 0.0 {
                 applied += 1;
@@ -580,6 +623,30 @@ impl L2Controller {
             }
         }
         applied
+    }
+
+    /// Drift detections fired across the module residual streams.
+    pub fn drift_detections(&self) -> u64 {
+        self.online
+            .as_ref()
+            .map_or(0, |o| o.detectors.iter().map(|d| d.detections()).sum())
+    }
+
+    /// `true` once any module's detector reports that residuals stopped
+    /// being local (an offline re-train should be scheduled).
+    pub fn retrain_recommended(&self) -> bool {
+        self.online
+            .as_ref()
+            .is_some_and(|o| o.detectors.iter().any(|d| d.retrain_recommended()))
+    }
+
+    /// Clear every module detector's re-train latch.
+    pub fn acknowledge_retrain(&mut self) {
+        if let Some(online) = self.online.as_mut() {
+            for d in &mut online.detectors {
+                d.acknowledge_retrain();
+            }
+        }
     }
 
     /// Seed the controller with an initial split (e.g. proportional to

@@ -1,6 +1,12 @@
-use llc_sim::PowerState;
+use llc_sim::{PowerState, WindowStats};
 
 /// Per-computer observation for one base (`T_L0`) tick.
+///
+/// The realized window carries everything the plant measured between
+/// samples — arrivals, completions, response and demand sums, *and the
+/// energy actually drawn* — so the closed-loop hierarchy can reconstruct
+/// per-member realized outcomes (cost, power, end queue) without any
+/// harness-side bookkeeping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComputerObs {
     /// Global computer index.
@@ -9,18 +15,30 @@ pub struct ComputerObs {
     pub module: usize,
     /// Queue length at the sampling instant (queued + in service).
     pub queue: usize,
-    /// Requests routed to this computer during the window.
-    pub arrivals: u64,
-    /// Requests completed during the window.
-    pub completions: u64,
-    /// Mean response time of completions in the window (seconds).
-    pub mean_response: Option<f64>,
-    /// Mean full-speed demand of completions in the window (seconds).
-    pub mean_demand: Option<f64>,
+    /// The realized stats of the window that just ended (arrivals,
+    /// completions, response/demand sums, energy drawn).
+    pub window: WindowStats,
     /// Power state at the sampling instant.
     pub state: PowerState,
     /// Current frequency index.
     pub frequency_index: usize,
+}
+
+impl ComputerObs {
+    /// Requests routed to this computer during the window.
+    pub fn arrivals(&self) -> u64 {
+        self.window.arrivals
+    }
+
+    /// Mean response time of completions in the window (seconds).
+    pub fn mean_response(&self) -> Option<f64> {
+        self.window.mean_response()
+    }
+
+    /// Mean full-speed demand of completions in the window (seconds).
+    pub fn mean_demand(&self) -> Option<f64> {
+        self.window.mean_demand()
+    }
 }
 
 /// Per-module observation for one base tick.

@@ -53,6 +53,7 @@
 
 mod bounded;
 mod cost;
+mod detect;
 mod error;
 mod llc;
 mod model;
@@ -62,6 +63,7 @@ mod uncertainty;
 
 pub use bounded::{BoundedSearch, LocalOptimum};
 pub use cost::{Norm, Penalty, SetPoint};
+pub use detect::{DetectorConfig, DriftDetector, LearnRate};
 pub use error::Error;
 pub use llc::{Decision, LookaheadController, SearchStats};
 pub use model::{EnvStep, Forecast, Plant};

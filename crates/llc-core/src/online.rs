@@ -111,6 +111,15 @@ pub struct OnlineConfig {
     /// Floor of the per-update blend weight once a cell is seasoned
     /// (`0 < η ≤ 1`): the exponential forgetting rate that tracks drift.
     pub learning_rate: f64,
+    /// Re-convergence blend-weight floor used while the drift detector
+    /// reports [`crate::LearnRate::Fast`] (`learning_rate ≤ η_fast ≤ 1`):
+    /// after a detected drift the learner chases outcomes aggressively
+    /// for the detector's hold-off window, then falls back to the steady
+    /// rate.
+    pub fast_learning_rate: f64,
+    /// Knobs of the per-stream Page–Hinkley drift detector that switches
+    /// between the two rates (and raises the re-train recommendation).
+    pub detector: crate::DetectorConfig,
     /// Pseudo-observations credited to the offline training pass: how
     /// much evidence a cell's trained value counts as before online
     /// outcomes start dominating it.
@@ -129,6 +138,8 @@ impl Default for OnlineConfig {
     fn default() -> Self {
         OnlineConfig {
             learning_rate: 0.25,
+            fast_learning_rate: 0.6,
+            detector: crate::DetectorConfig::default(),
             prior_weight: 4.0,
             decay_factor: 0.9,
             decay_every: 16,
@@ -149,6 +160,11 @@ impl OnlineConfig {
             self.learning_rate > 0.0 && self.learning_rate <= 1.0,
             "learning rate must lie in (0, 1]"
         );
+        assert!(
+            self.fast_learning_rate >= self.learning_rate && self.fast_learning_rate <= 1.0,
+            "fast learning rate must lie in [learning_rate, 1]"
+        );
+        let _ = self.detector.validated();
         assert!(
             self.prior_weight >= 0.0 && self.prior_weight.is_finite(),
             "prior weight must be finite and non-negative"

@@ -390,9 +390,14 @@ impl ClusterSim {
     }
 
     /// Drain per-computer window statistics (resetting them), in global
-    /// computer order.
+    /// computer order. Each window carries the energy drawn since the
+    /// previous drain (integrated up to the current simulation time).
     pub fn drain_computer_stats(&mut self) -> Vec<WindowStats> {
-        self.computers.iter_mut().map(|c| c.drain_stats()).collect()
+        let now = self.now;
+        self.computers
+            .iter_mut()
+            .map(|c| c.drain_stats(now))
+            .collect()
     }
 
     /// Drain per-module arrival statistics (module-level routing counts).

@@ -53,6 +53,9 @@ pub struct Computer {
     switch_offs: u64,
     /// Completions drained out of `stats` so far (keeps `completed()` total).
     lifetime_completions: u64,
+    /// Cumulative energy already attributed to drained windows, so each
+    /// drained [`WindowStats`] carries only its own window's draw.
+    energy_drained: f64,
     /// Drift-injection factor on delivered capacity (1.0 = nominal): the
     /// server serves at `φ · service_scale`, so a degraded machine takes
     /// longer per request while its DVFS setting — and therefore its
@@ -106,6 +109,7 @@ impl Computer {
             switch_ons: 0,
             switch_offs: 0,
             lifetime_completions: 0,
+            energy_drained: 0.0,
             service_scale: 1.0,
         }
     }
@@ -373,9 +377,14 @@ impl Computer {
         finished
     }
 
-    /// Drain and reset this computer's window statistics.
-    pub fn drain_stats(&mut self) -> WindowStats {
-        let w = self.stats.drain();
+    /// Drain and reset this computer's window statistics, stamping the
+    /// energy drawn since the previous drain (the meter integrates up to
+    /// `now`). `now` must not precede the previous drain instant.
+    pub fn drain_stats(&mut self, now: f64) -> WindowStats {
+        let mut w = self.stats.drain();
+        let total = self.energy_at(now);
+        w.energy = total - self.energy_drained;
+        self.energy_drained = total;
         self.lifetime_completions += w.completions;
         w
     }
@@ -525,13 +534,18 @@ mod tests {
         c.offer(Request::new(2, 0.0, 0.5), 0.0);
         c.complete(0.5);
         c.complete(1.0);
-        let w = c.drain_stats();
+        let w = c.drain_stats(1.0);
         assert_eq!(w.arrivals, 2);
         assert_eq!(w.completions, 2);
         assert!((w.response_sum - 1.5).abs() < 1e-12);
         assert_eq!(w.mean_demand(), Some(0.5));
+        // 1 s busy at operating power 0.75 + 1.0 (instant boot at t = 0).
+        assert!((w.energy - 1.75).abs() < 1e-9, "window energy {}", w.energy);
         assert_eq!(c.stats().completions, 0, "drained");
         assert_eq!(c.completed(), 2, "lifetime total survives drain");
+        // The next window starts from a clean energy mark.
+        let w2 = c.drain_stats(2.0);
+        assert!((w2.energy - 0.75).abs() < 1e-9, "1 s idle-on at base cost");
     }
 
     #[test]

@@ -16,6 +16,13 @@ pub struct WindowStats {
     pub demand_sum: f64,
     /// Requests that could not be routed (no operating target).
     pub dropped: u64,
+    /// Energy drawn during the window (power·seconds, in the paper's
+    /// `a + φ²` units) — the realized-power observable the closed-loop
+    /// hierarchy derives per-member abstraction-map outcomes from.
+    /// Filled when the window is drained from a [`crate::Computer`] (the
+    /// meter integrates up to the drain instant); zero for router-level
+    /// module stats.
+    pub energy: f64,
 }
 
 impl WindowStats {
@@ -56,6 +63,17 @@ impl WindowStats {
         self.response_sum += other.response_sum;
         self.demand_sum += other.demand_sum;
         self.dropped += other.dropped;
+        self.energy += other.energy;
+    }
+
+    /// Mean power draw over a window of `window_secs`, in `a + φ²` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `window_secs` is not positive.
+    pub fn mean_power(&self, window_secs: f64) -> f64 {
+        debug_assert!(window_secs > 0.0);
+        self.energy / window_secs
     }
 
     /// Take the current value and reset to zero.
@@ -138,10 +156,12 @@ mod tests {
             response_sum: 5.0,
             demand_sum: 0.04,
             dropped: 0,
+            energy: 52.5,
         };
         assert_eq!(w.mean_response(), Some(2.5));
         assert_eq!(w.mean_demand(), Some(0.02));
         assert_eq!(w.arrival_rate(30.0), 2.0);
+        assert_eq!(w.mean_power(30.0), 1.75);
     }
 
     #[test]
@@ -152,6 +172,7 @@ mod tests {
             response_sum: 3.0,
             demand_sum: 4.0,
             dropped: 5,
+            energy: 6.0,
         };
         a.absorb(&a.clone());
         assert_eq!(a.arrivals, 2);
@@ -159,6 +180,7 @@ mod tests {
         assert_eq!(a.response_sum, 6.0);
         assert_eq!(a.demand_sum, 8.0);
         assert_eq!(a.dropped, 10);
+        assert_eq!(a.energy, 12.0);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! The in-hierarchy closed loop end to end: the event-driven
+//! `HierarchicalPolicy`/`Experiment` stack self-corrects from its own
+//! realized outcomes with zero harness code, the L2→L1 feed-forward
+//! removes the re-split/boot-dead-time oscillation, and the drift
+//! detector switches the learning rate on both map substrates.
+
+use llc_cluster::{
+    single_module, ClosedLoopMode, Experiment, FrequencyProfile, GEntry, HierarchicalPolicy,
+    L0Config, L0Controller, L1Config, L1Controller, LearnSpec, MapBackend, MemberSpec,
+    ScenarioConfig,
+};
+use llc_core::{LearnRate, OnlineConfig};
+use llc_workload::{
+    drift_scenarios, CapacityProfile, DiurnalShape, SyntheticBuilder, Trace, VirtualStore,
+};
+
+/// The bench's closed-loop scenario: two machines pinned on (so the
+/// tracking comparison is not dominated by boot dead-time transients)
+/// over hash-backed maps (so out-of-envelope outcomes are absorbed).
+fn closed_loop_scenario() -> ScenarioConfig {
+    let mut sc = single_module(2).with_coarse_learning().with_hash_maps();
+    sc.l1.min_active = 2;
+    sc
+}
+
+fn run_tracking(sc: &ScenarioConfig, closed: bool) -> (f64, u64, HierarchicalPolicy) {
+    let capacity: f64 = sc.member_specs()[0]
+        .iter()
+        .map(|m| m.speed / m.c_prior)
+        .sum();
+    let scenario = &drift_scenarios(0xC105ED, 50, 120.0, 0.55 * capacity)[2]; // capacity step
+    let mut policy = HierarchicalPolicy::build(sc);
+    if closed {
+        policy.enable_closed_loop(OnlineConfig::default());
+    } else {
+        policy.enable_outcome_tracking(OnlineConfig::default());
+    }
+    let exp = Experiment {
+        drift: Some(scenario.capacity),
+        ..Experiment::paper_default(0xBEEF)
+    };
+    let store = VirtualStore::paper_default(0xBEEF);
+    let log = exp
+        .run(sc.to_sim_config(), &mut policy, &scenario.trace, &store)
+        .expect("well-formed scenario");
+    assert!(log.ticks.len() > 100);
+    let mae = policy.tracking_error().expect("outcomes derived");
+    let updates = policy.online_updates();
+    (mae, updates, policy)
+}
+
+#[test]
+fn closed_loop_beats_offline_with_zero_harness_code() {
+    let sc = closed_loop_scenario();
+    let (offline_mae, offline_updates, offline_policy) = run_tracking(&sc, false);
+    let (closed_mae, closed_updates, closed_policy) = run_tracking(&sc, true);
+
+    // The offline-only arm derives outcomes but never learns.
+    assert_eq!(offline_policy.closed_loop_mode(), ClosedLoopMode::Observe);
+    assert_eq!(offline_updates, 0, "Observe mode must not touch the maps");
+    // The closed loop learns without a single record_outcome/learn_online
+    // call in this test.
+    assert_eq!(closed_policy.closed_loop_mode(), ClosedLoopMode::Learn);
+    assert!(closed_updates > 20, "only {closed_updates} updates applied");
+    assert!(
+        closed_mae < offline_mae,
+        "closed-loop tracking MAE {closed_mae:.3} must beat offline-only {offline_mae:.3}"
+    );
+    // The capacity step is a global model break: the detector must both
+    // fire and conclude the residuals are not local.
+    assert!(closed_policy.l1(0).drift_detections() > 0);
+    assert!(closed_policy.retrain_recommended());
+}
+
+#[test]
+fn observe_mode_queues_outcomes_for_caller_driven_replay() {
+    let sc = closed_loop_scenario();
+    let (_, _, mut policy) = run_tracking(&sc, false);
+    let outcomes = policy.drain_realized_outcomes();
+    assert!(outcomes.len() > 50, "got {} outcomes", outcomes.len());
+    for o in &outcomes {
+        assert_eq!(o.module, 0);
+        assert!(o.member < 2);
+        assert!(o.lambda.is_finite() && o.lambda >= 0.0);
+        assert!(o.entry.cost.is_finite() && o.entry.cost >= 0.0);
+        assert!(o.entry.power >= 0.0);
+    }
+    assert!(
+        policy.drain_realized_outcomes().is_empty(),
+        "drain must consume the queue"
+    );
+    // Replaying the drained outcomes through the public caller-driven
+    // surface adapts the policy's own maps.
+    policy.l1_mut(0).enable_online(OnlineConfig::default());
+    for o in &outcomes {
+        policy
+            .l1_mut(o.module)
+            .record_outcome(o.member, o.lambda, o.q0, o.entry);
+    }
+    let applied = policy.l1_mut(0).learn_online();
+    assert!(applied > 20, "only {applied} of {} applied", outcomes.len());
+}
+
+/// A two-module cluster at marginal capacity under a square-wave load:
+/// every step forces a re-split, and every re-split lands a boot dead
+/// time later than the L1s can follow — the lag the re-split
+/// oscillation feeds on. With the feed-forward the L1s provision for
+/// the new share at the re-split tick itself, so the γ decisions must
+/// wander strictly less than under the hysteresis-only baseline.
+#[test]
+fn feed_forward_damps_l2_resplit_oscillation() {
+    fn gamma_variance(feed_forward: bool) -> (f64, usize, f64) {
+        let mut sc = llc_cluster::paper_cluster_16().with_coarse_learning();
+        sc.modules.truncate(2);
+        sc.l2.feed_forward = feed_forward;
+        let capacity: f64 = sc
+            .member_specs()
+            .iter()
+            .flatten()
+            .map(|m| m.speed / m.c_prior)
+            .sum();
+        // Square wave between 35% and 75% of cluster capacity, 8 minutes
+        // per phase: marginal at the crests once boot dead times are
+        // counted, quiet enough in the troughs that machines shed.
+        let counts: Vec<f64> = (0..64)
+            .map(|k| {
+                let r = if (k / 16) % 2 == 0 { 0.35 } else { 0.75 };
+                r * capacity * 30.0
+            })
+            .collect();
+        let trace = Trace::new(30.0, counts).expect("well-formed trace");
+        let store = VirtualStore::paper_default(11);
+        let mut policy = HierarchicalPolicy::build(&sc);
+        let exp = Experiment::paper_default(23);
+        let log = exp
+            .run(sc.to_sim_config(), &mut policy, &trace, &store)
+            .expect("well-formed scenario");
+        let gammas: Vec<f64> = policy
+            .gamma_module_history()
+            .iter()
+            .map(|(_, g)| g[0])
+            .collect();
+        assert!(gammas.len() > 8, "need L2 decisions, got {}", gammas.len());
+        let mean = gammas.iter().sum::<f64>() / gammas.len() as f64;
+        let var = gammas.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gammas.len() as f64;
+        let moves = gammas
+            .windows(2)
+            .filter(|w| (w[1] - w[0]).abs() > 1e-9)
+            .count();
+        (var, moves, log.summary().mean_response)
+    }
+
+    let (var_base, moves_base, resp_base) = gamma_variance(false);
+    let (var_ff, moves_ff, resp_ff) = gamma_variance(true);
+    assert!(
+        var_ff < var_base,
+        "feed-forward must damp the split oscillation: \
+         var {var_ff:.5} (ff) vs {var_base:.5} (hysteresis only), \
+         moves {moves_ff} vs {moves_base}, \
+         mean response {resp_ff:.2} vs {resp_base:.2}"
+    );
+}
+
+/// In a multi-module cluster the closed loop also feeds the L2 residual
+/// layer: realized per-module costs are recorded and absorbed with no
+/// harness code.
+#[test]
+fn closed_loop_feeds_l2_residual_layer() {
+    let mut sc = llc_cluster::paper_cluster_16().with_coarse_learning();
+    sc.modules.truncate(2);
+    let capacity: f64 = sc
+        .member_specs()
+        .iter()
+        .flatten()
+        .map(|m| m.speed / m.c_prior)
+        .sum();
+    let trace = Trace::new(30.0, vec![0.5 * capacity * 30.0; 48]).expect("well-formed trace");
+    let store = VirtualStore::paper_default(31);
+    let mut policy = HierarchicalPolicy::build(&sc);
+    policy.enable_closed_loop(OnlineConfig::default());
+    let exp = Experiment {
+        drift: Some(CapacityProfile::Ramp { from: 1.0, to: 0.7 }),
+        ..Experiment::paper_default(31)
+    };
+    exp.run(sc.to_sim_config(), &mut policy, &trace, &store)
+        .expect("well-formed scenario");
+    let l2 = policy.l2().expect("two modules build an L2");
+    assert!(l2.online_enabled());
+    assert!(
+        l2.online_updates() > 0,
+        "the L2 leg must absorb realized module outcomes"
+    );
+    assert!(policy.online_updates() > l2.online_updates());
+    assert!(policy.tracking_samples() > 0);
+}
+
+/// The drift detector switches the online learner between the steady and
+/// fast rates on both substrates, and the fast rate re-converges faster
+/// than the steady-only learner over the same outcome stream.
+#[test]
+fn detector_switches_rate_on_both_substrates() {
+    let spec = MemberSpec::paper_default(FrequencyProfile::TallEight);
+    let l0 = L0Config::paper_default();
+    for backend in [MapBackend::Dense, MapBackend::Hash] {
+        let map =
+            llc_cluster::AbstractionMap::learn_for_member(&l0, &spec, LearnSpec::coarse(), backend);
+        let mut l1 = L1Controller::new(L1Config::paper_default(), vec![spec.clone()], vec![map]);
+        l1.enable_online(OnlineConfig::default());
+        assert_eq!(l1.member_learn_rate(0), LearnRate::Steady);
+
+        let c = spec.c_prior;
+        let lambda = 0.5 / c;
+        let mut q = 0.0f64;
+        // Nominal phase: outcomes match the map, detector stays steady.
+        for _ in 0..12 {
+            let (cost, power, final_q) =
+                L0Controller::simulate_model(&l0, &spec.phis, q, lambda, c, 4);
+            l1.record_outcome(
+                0,
+                lambda,
+                q,
+                GEntry {
+                    cost,
+                    power,
+                    final_q,
+                },
+            );
+            l1.learn_online();
+            q = final_q;
+        }
+        assert_eq!(
+            l1.drift_detections(),
+            0,
+            "{backend:?}: matching outcomes must not fire"
+        );
+        assert_eq!(l1.member_learn_rate(0), LearnRate::Steady);
+
+        // The machine fails to half capacity: the standing load no
+        // longer fits, residuals jump, the detector fires and the
+        // learner goes fast.
+        for _ in 0..12 {
+            let (cost, power, final_q) =
+                L0Controller::simulate_model(&l0, &spec.phis, q, lambda, c / 0.5, 4);
+            l1.record_outcome(
+                0,
+                lambda,
+                q,
+                GEntry {
+                    cost,
+                    power,
+                    final_q,
+                },
+            );
+            l1.learn_online();
+            q = final_q;
+        }
+        assert!(
+            l1.drift_detections() > 0,
+            "{backend:?}: the capacity step must fire the detector"
+        );
+        assert!(
+            l1.fast_updates() > 0,
+            "{backend:?}: post-detection updates must run at the fast rate"
+        );
+    }
+}
+
+/// `CapacityProfile`-driven drift inside `Experiment::run` reaches the
+/// plant: the same workload completes less quickly on a degraded plant.
+#[test]
+fn experiment_drift_hook_degrades_the_plant() {
+    let sc = single_module(2).with_coarse_learning();
+    let capacity: f64 = sc.member_specs()[0]
+        .iter()
+        .map(|m| m.speed / m.c_prior)
+        .sum();
+    let trace =
+        SyntheticBuilder::new(DiurnalShape::new(0.5 * capacity * 30.0), 40, 30.0).build(0x77);
+    let store = VirtualStore::paper_default(7);
+    let mut summaries = Vec::new();
+    for drift in [None, Some(CapacityProfile::Ramp { from: 1.0, to: 0.5 })] {
+        let mut policy = HierarchicalPolicy::build(&sc);
+        let exp = Experiment {
+            drift,
+            ..Experiment::paper_default(3)
+        };
+        let log = exp
+            .run(sc.to_sim_config(), &mut policy, &trace, &store)
+            .unwrap();
+        summaries.push(log.summary());
+    }
+    assert!(
+        summaries[1].mean_response > summaries[0].mean_response,
+        "capacity loss must show in responses: {:.3} vs {:.3}",
+        summaries[1].mean_response,
+        summaries[0].mean_response
+    );
+}
