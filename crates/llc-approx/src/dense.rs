@@ -37,6 +37,16 @@ pub trait CostMap<V> {
     /// Online observations currently credited to the cell containing
     /// `point` (0.0 for never-updated or out-of-region cells).
     fn confidence(&self, point: &[f64]) -> f64;
+    /// Visit every stored cell that has absorbed at least
+    /// `min_confidence` online observations (and at least one), as
+    /// `(cell center, value, confidence)` — the reseed surface of the
+    /// retrain hot-swap: cells the plant has actually visited carry
+    /// *measured* truth worth carrying into a freshly rebuilt map, while
+    /// offline-only cells are exactly what the rebuild replaces.
+    /// Iteration order is deterministic (slot order on the dense grid,
+    /// sorted cell keys on the hash table), so re-applying the visited
+    /// cells into another map is reproducible.
+    fn for_each_confident(&self, min_confidence: f64, f: &mut dyn FnMut(&[f64], &V, f64));
 }
 
 impl<V: Clone> CostMap<V> for LookupTable<V> {
@@ -65,6 +75,9 @@ impl<V: Clone> CostMap<V> for LookupTable<V> {
     }
     fn confidence(&self, point: &[f64]) -> f64 {
         LookupTable::confidence(self, point)
+    }
+    fn for_each_confident(&self, min_confidence: f64, f: &mut dyn FnMut(&[f64], &V, f64)) {
+        LookupTable::for_each_confident(self, min_confidence, f);
     }
 }
 
@@ -320,6 +333,20 @@ impl<V> CostMap<V> for DenseGrid<V> {
             0.0
         } else {
             self.confidence[self.index_of(point)]
+        }
+    }
+    fn for_each_confident(&self, min_confidence: f64, f: &mut dyn FnMut(&[f64], &V, f64)) {
+        let mut centers = vec![0.0; self.dims.len()];
+        for (slot, (v, &conf)) in self.values.iter().zip(&self.confidence).enumerate() {
+            if conf <= 0.0 || conf < min_confidence {
+                continue;
+            }
+            let mut idx = slot;
+            for (d, dim) in self.dims.iter().enumerate() {
+                centers[d] = dim.quant.center(dim.cells[idx % dim.cells.len()]);
+                idx /= dim.cells.len();
+            }
+            f(&centers, v, conf);
         }
     }
 }

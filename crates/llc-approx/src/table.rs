@@ -171,6 +171,30 @@ impl<V: Clone> LookupTable<V> {
             .map(|(_, v)| v)
     }
 
+    /// Visit stored cells holding at least `min_confidence` online
+    /// observations (and at least one) as `(cell center, value,
+    /// confidence)`, in sorted cell-key order so the visit — and any map
+    /// rebuilt from it — is deterministic regardless of hash iteration
+    /// order.
+    pub fn for_each_confident(&self, min_confidence: f64, f: &mut dyn FnMut(&[f64], &V, f64)) {
+        let mut cells: Vec<&Vec<i64>> = self
+            .confidence
+            .iter()
+            .filter(|(cells, &conf)| {
+                conf > 0.0 && conf >= min_confidence && self.map.contains_key(*cells)
+            })
+            .map(|(cells, _)| cells)
+            .collect();
+        cells.sort();
+        let mut centers = vec![0.0; self.dims.len()];
+        for key in cells {
+            for (d, (&c, q)) in key.iter().zip(&self.dims).enumerate() {
+                centers[d] = q.center(c);
+            }
+            f(&centers, &self.map[key], self.confidence[key]);
+        }
+    }
+
     /// Iterate stored `(cell_centers, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Vec<f64>, &V)> + '_ {
         self.map.iter().map(move |(cells, v)| {

@@ -19,19 +19,29 @@
 //! medians de-noise the overhead numbers per the gate-calibration
 //! policy).
 //!
+//! A fourth scenario, **deep-degradation** (capacity steps to half of
+//! nominal while the load still fits the degraded plant), compares the
+//! plain closed loop against the **self-healing** stack — drift-aware
+//! L0 (`ServiceScaleEstimator` threaded through the queue model) plus
+//! the `RetrainManager` background rebuild + hot-swap.
+//!
 //! Emits machine-readable `BENCH_closed_loop.json` at the workspace
 //! root; `--quick` shortens the run (no JSON rewrite); `--check` gates:
-//! exit non-zero unless, on **every** scenario, closed-loop beats
+//! exit non-zero unless, on **every** drift scenario, closed-loop beats
 //! offline-only tracking error and stays within 1.5× of the
-//! caller-driven arm.
+//! caller-driven arm — and, on deep degradation, self-healing strictly
+//! beats the drift-blind closed loop's tracking MAE without flapping
+//! frequencies more, with at least one in-run rebuild hot-swapped.
 
 use llc_bench::report::{check_mode, quick_mode, runner_json};
 use llc_cluster::{
     single_module, Action, ClusterPolicy, Experiment, HierarchicalPolicy, Observations,
-    ScenarioConfig,
+    RetrainConfig, ScenarioConfig,
 };
 use llc_core::OnlineConfig;
-use llc_workload::{drift_scenarios, CapacityProfile, DriftScenario, VirtualStore};
+use llc_workload::{
+    deep_degradation_scenario, drift_scenarios, CapacityProfile, DriftScenario, VirtualStore,
+};
 use std::time::Instant;
 
 /// The scenario capacity profiles are expressed over the drift trace's
@@ -92,6 +102,10 @@ enum Arm {
     Offline,
     Caller,
     Closed,
+    /// Closed loop + drift-aware L0 + retrain consumer (PR 4): the
+    /// self-healing stack, benched on the deep-degradation scenario
+    /// against the plain closed loop.
+    SelfHeal,
 }
 
 impl Arm {
@@ -100,6 +114,7 @@ impl Arm {
             Arm::Offline => "offline",
             Arm::Caller => "caller",
             Arm::Closed => "closed",
+            Arm::SelfHeal => "selfheal",
         }
     }
 }
@@ -110,7 +125,26 @@ struct ArmResult {
     online_updates: u64,
     detections: u64,
     retrain: bool,
+    /// Frequency switches summed over computers — the deep-degradation
+    /// limit-cycle metric (the φ decision variance of the gate).
+    freq_switches: usize,
+    /// Background rebuilds hot-swapped by the retrain consumer.
+    rebuilds: usize,
     run_ms: f64,
+}
+
+fn json_entry(scenario: &str, arm: &str, r: &ArmResult) -> String {
+    format!(
+        "    \"{scenario}:{arm}\": {{\n      \"tracking_mae\": {:.4},\n      \"samples\": {},\n      \"online_updates\": {},\n      \"drift_detections\": {},\n      \"retrain_recommended\": {},\n      \"freq_switches\": {},\n      \"rebuilds\": {},\n      \"run_ms\": {:.1}\n    }}",
+        r.tracking_mae,
+        r.samples,
+        r.online_updates,
+        r.detections,
+        r.retrain,
+        r.freq_switches,
+        r.rebuilds,
+        r.run_ms,
+    )
 }
 
 fn scenario_config() -> ScenarioConfig {
@@ -126,12 +160,19 @@ fn scenario_config() -> ScenarioConfig {
 }
 
 fn run_arm(scenario: &DriftScenario, arm: Arm, seed: u64) -> ArmResult {
-    let sc = scenario_config();
+    let sc = match arm {
+        Arm::SelfHeal => scenario_config().with_drift_aware_l0(),
+        _ => scenario_config(),
+    };
     let cfg = OnlineConfig::default().validated();
     let mut policy = HierarchicalPolicy::build(&sc);
     match arm {
         Arm::Offline => policy.enable_outcome_tracking(cfg),
         Arm::Closed => policy.enable_closed_loop(cfg),
+        Arm::SelfHeal => {
+            policy.enable_closed_loop(cfg);
+            policy.enable_retrain(RetrainConfig::default());
+        }
         Arm::Caller => {
             policy.enable_outcome_tracking(cfg);
             for m in 0..policy.num_modules() {
@@ -160,7 +201,6 @@ fn run_arm(scenario: &DriftScenario, arm: Arm, seed: u64) -> ArmResult {
             .expect("well-formed scenario"),
     };
     let run_ms = started.elapsed().as_secs_f64() * 1e3;
-    drop(log);
     ArmResult {
         tracking_mae: policy.tracking_error().expect("outcomes were derived"),
         samples: policy.tracking_samples(),
@@ -169,6 +209,8 @@ fn run_arm(scenario: &DriftScenario, arm: Arm, seed: u64) -> ArmResult {
             .map(|m| policy.l1(m).drift_detections())
             .sum(),
         retrain: policy.retrain_recommended(),
+        freq_switches: log.frequency_switches(),
+        rebuilds: policy.retrain_rebuilds(),
         run_ms,
     }
 }
@@ -244,18 +286,49 @@ fn main() {
             within_caller += 1;
         }
         for (arm, r) in &results {
-            lines.push(format!(
-                "    \"{}:{}\": {{\n      \"tracking_mae\": {:.4},\n      \"samples\": {},\n      \"online_updates\": {},\n      \"drift_detections\": {},\n      \"retrain_recommended\": {},\n      \"run_ms\": {:.1}\n    }}",
-                scenario.name,
-                arm.name(),
-                r.tracking_mae,
-                r.samples,
-                r.online_updates,
-                r.detections,
-                r.retrain,
-                r.run_ms,
-            ));
+            lines.push(json_entry(scenario.name, arm.name(), r));
         }
+    }
+
+    // --- Deep degradation: the self-healing stack (drift-aware L0 +
+    // retrain hot-swap) against the PR 3 closed loop. The drift-blind
+    // closed loop limit-cycles here: its queue model believes in
+    // capacity the plant stopped delivering. ---
+    let deep = deep_degradation_scenario(0xC105ED, buckets, 120.0, capacity);
+    let mut deep_results: Vec<(Arm, ArmResult)> = Vec::new();
+    for arm in [Arm::Closed, Arm::SelfHeal] {
+        let result = if check || quick {
+            run_arm(&deep, arm, 0xBEEF)
+        } else {
+            let mut runs = vec![
+                run_arm(&deep, arm, 0xBEEF),
+                run_arm(&deep, arm, 0xBEEF),
+                run_arm(&deep, arm, 0xBEEF),
+            ];
+            runs.sort_by(|a, b| a.run_ms.total_cmp(&b.run_ms));
+            debug_assert!(
+                (runs[0].tracking_mae - runs[2].tracking_mae).abs() < 1e-12,
+                "tracking error must be deterministic"
+            );
+            runs.swap_remove(1)
+        };
+        deep_results.push((arm, result));
+    }
+    let deep_closed = &deep_results[0].1;
+    let deep_heal = &deep_results[1].1;
+    println!(
+        "{:<22} closed MAE {:>8.3} ({} switches)  selfheal MAE {:>8.3} ({} switches, {} rebuilds)  \
+         ({:.1}x better)",
+        deep.name,
+        deep_closed.tracking_mae,
+        deep_closed.freq_switches,
+        deep_heal.tracking_mae,
+        deep_heal.freq_switches,
+        deep_heal.rebuilds,
+        deep_closed.tracking_mae / deep_heal.tracking_mae.max(1e-12),
+    );
+    for (arm, r) in &deep_results {
+        lines.push(json_entry(deep.name, arm.name(), r));
     }
 
     if check {
@@ -280,6 +353,45 @@ fn main() {
             );
             failed = true;
         }
+        // The self-healing invariants (PR 4): on deep degradation the
+        // drift-aware L0 + retrain hot-swap must strictly beat the
+        // drift-blind closed loop's tracking, must not flap frequencies
+        // more (no limit-cycle regression), and must have actually
+        // rebuilt and hot-swapped maps in-run.
+        if deep_heal.tracking_mae < deep_closed.tracking_mae {
+            println!(
+                "gate ok  self-healing beats drift-blind closed loop on deep degradation \
+                 ({:.3} < {:.3})",
+                deep_heal.tracking_mae, deep_closed.tracking_mae
+            );
+        } else {
+            eprintln!(
+                "REGRESSION self-healing MAE {:.3} does not beat drift-blind {:.3}",
+                deep_heal.tracking_mae, deep_closed.tracking_mae
+            );
+            failed = true;
+        }
+        if deep_heal.freq_switches <= deep_closed.freq_switches {
+            println!(
+                "gate ok  self-healing frequency decisions do not flap more ({} <= {})",
+                deep_heal.freq_switches, deep_closed.freq_switches
+            );
+        } else {
+            eprintln!(
+                "REGRESSION self-healing flaps frequencies more ({} > {})",
+                deep_heal.freq_switches, deep_closed.freq_switches
+            );
+            failed = true;
+        }
+        if deep_heal.rebuilds >= 1 {
+            println!(
+                "gate ok  retrain consumer rebuilt and hot-swapped {} time(s) in-run",
+                deep_heal.rebuilds
+            );
+        } else {
+            eprintln!("REGRESSION retrain consumer never fired on deep degradation");
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
@@ -300,4 +412,8 @@ fn main() {
     );
     std::fs::write("BENCH_closed_loop.json", &json).expect("cannot write BENCH_closed_loop.json");
     println!("wrote BENCH_closed_loop.json");
+    if let Some(class_path) = llc_bench::report::write_class_baseline("closed_loop", threads, &json)
+    {
+        println!("wrote {} (runner-class baseline)", class_path.display());
+    }
 }

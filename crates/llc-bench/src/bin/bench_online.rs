@@ -202,4 +202,7 @@ fn main() {
     );
     std::fs::write("BENCH_online.json", &json).expect("cannot write BENCH_online.json");
     println!("wrote BENCH_online.json");
+    if let Some(class_path) = llc_bench::report::write_class_baseline("online", threads, &json) {
+        println!("wrote {} (runner-class baseline)", class_path.display());
+    }
 }

@@ -11,7 +11,9 @@
 //! `BENCH_substrate.json`.
 
 use llc_bench::microbench;
-use llc_bench::report::{check_mode, gate_ratio, json_number, median3, quick_mode, runner_json};
+use llc_bench::report::{
+    self, check_mode, gate_ratio, json_number, median3, quick_mode, runner_json,
+};
 use llc_cluster::{
     AbstractionMap, FrequencyProfile, L0Config, L1Config, L1Controller, LearnSpec, MapBackend,
     MemberSpec, ModuleCostModel, ModuleLearnSpec,
@@ -354,8 +356,29 @@ fn main() {
     println!("decide speedup: {decide_speedup:.1}x");
 
     if check {
-        let committed = std::fs::read_to_string("BENCH_substrate.json")
-            .expect("--check needs the committed BENCH_substrate.json at the workspace root");
+        // Prefer the per-runner-class baseline: a snapshot recorded on a
+        // like runner (same thread count, OS and CPU model) compares
+        // absolute ratios directly, so the tolerance tightens to 10%.
+        // Without one for this class, fall back to the workspace-root
+        // file — possibly recorded on different hardware — at the
+        // historical 20%.
+        let (committed, tolerance, source) = match report::load_class_baseline("substrate", threads)
+        {
+            Some(json) => (
+                json,
+                report::CLASS_TOLERANCE,
+                format!("class baseline {}", report::runner_class(threads)),
+            ),
+            None => (
+                std::fs::read_to_string("BENCH_substrate.json").expect(
+                    "--check needs BENCH_substrate.json (or a per-class baseline) \
+                         at the workspace root",
+                ),
+                report::FALLBACK_TOLERANCE,
+                "workspace-root BENCH_substrate.json (no class baseline)".to_string(),
+            ),
+        };
+        println!("gating against {source} at {:.0}%", tolerance * 100.0);
         let mut failures = Vec::new();
         for (label, section, measured) in [
             ("probe speedup", "probes", probe_speedup),
@@ -366,15 +389,17 @@ fn main() {
             ),
             ("l1-decide speedup", "l1_decide", decide_speedup),
         ] {
-            let baseline = json_number(&committed, section, "speedup").unwrap_or_else(|| {
-                panic!("no \"{section}\".speedup in committed BENCH_substrate.json")
-            });
-            if let Err(e) = gate_ratio(label, measured, baseline, 0.2) {
+            let baseline = json_number(&committed, section, "speedup")
+                .unwrap_or_else(|| panic!("no \"{section}\".speedup in committed baseline"));
+            if let Err(e) = gate_ratio(label, measured, baseline, tolerance) {
                 failures.push(e);
             }
         }
         if failures.is_empty() {
-            println!("bench gate passed: all substrate speedups within 20% of baseline");
+            println!(
+                "bench gate passed: all substrate speedups within {:.0}% of baseline",
+                tolerance * 100.0
+            );
             return;
         }
         for f in &failures {
@@ -398,4 +423,7 @@ fn main() {
     );
     std::fs::write("BENCH_substrate.json", &json).expect("cannot write BENCH_substrate.json");
     println!("wrote BENCH_substrate.json");
+    if let Some(class_path) = report::write_class_baseline("substrate", threads, &json) {
+        println!("wrote {} (runner-class baseline)", class_path.display());
+    }
 }

@@ -173,8 +173,8 @@ pub fn cpu_model() -> String {
 }
 
 /// The `"runner"` JSON object shared by every benchmark report:
-/// `threads`, `os` and the CPU model, so a future per-runner-class
-/// baseline store has the key material it needs.
+/// `threads`, `os` and the CPU model — the key material of the
+/// per-runner-class baseline store.
 pub fn runner_json(threads: usize) -> String {
     format!(
         "\"runner\": {{\n    \"threads\": {threads},\n    \"os\": \"{}\",\n    \"cpu\": \"{}\"\n  }}",
@@ -182,6 +182,85 @@ pub fn runner_json(threads: usize) -> String {
         cpu_model().replace('"', "'"),
     )
 }
+
+/// The runner-class slug this machine belongs to, derived from
+/// `runner.{threads, os, cpu}`: lowercase alphanumerics with runs of
+/// everything else collapsed to single dashes (e.g.
+/// `linux-1t-intel-r-xeon-r-processor-2-10ghz`). Two machines with the
+/// same slug are "like runners" whose absolute measurements are
+/// comparable.
+pub fn runner_class(threads: usize) -> String {
+    let raw = format!("{}-{}t-{}", std::env::consts::OS, threads, cpu_model());
+    let mut slug = String::with_capacity(raw.len());
+    let mut dash = false;
+    for ch in raw.chars() {
+        if ch.is_ascii_alphanumeric() {
+            slug.push(ch.to_ascii_lowercase());
+            dash = false;
+        } else if !dash && !slug.is_empty() {
+            slug.push('-');
+            dash = true;
+        }
+    }
+    slug.trim_end_matches('-').to_string()
+}
+
+/// Path of `bench`'s committed baseline for this machine's runner class:
+/// `bench_baselines/<bench>/<runner-class>.json` at the workspace root.
+pub fn class_baseline_path(bench: &str, threads: usize) -> PathBuf {
+    Path::new("bench_baselines")
+        .join(bench)
+        .join(format!("{}.json", runner_class(threads)))
+}
+
+/// The committed per-class baseline for `bench` on this runner class, if
+/// one exists. Gates prefer it over the single workspace-root
+/// `BENCH_*.json` — like runners compare absolute numbers directly, so
+/// the tolerance can tighten (see [`CLASS_TOLERANCE`] vs
+/// [`FALLBACK_TOLERANCE`]).
+pub fn load_class_baseline(bench: &str, threads: usize) -> Option<String> {
+    fs::read_to_string(class_baseline_path(bench, threads)).ok()
+}
+
+/// `--rebaseline` flag: allow a full bench run to overwrite an
+/// *existing* per-class baseline. Without it, baselines are only
+/// written when the class has none yet — otherwise a regressed run
+/// could silently replace the snapshot its own gate compares against,
+/// ratcheting the regression in.
+pub fn rebaseline_mode() -> bool {
+    std::env::args().any(|a| a == "--rebaseline")
+}
+
+/// Store this run's report as the runner class's baseline snapshot —
+/// but only when the class has no snapshot yet, or `--rebaseline` was
+/// passed (a deliberate re-anchor). Returns the path written, or
+/// `None` when an existing baseline was deliberately left alone.
+///
+/// # Panics
+///
+/// Panics on I/O failure (benches want loud failures).
+pub fn write_class_baseline(bench: &str, threads: usize, json: &str) -> Option<PathBuf> {
+    let path = class_baseline_path(bench, threads);
+    if path.exists() && !rebaseline_mode() {
+        println!(
+            "kept existing {} (pass --rebaseline to overwrite)",
+            path.display()
+        );
+        return None;
+    }
+    fs::create_dir_all(path.parent().expect("path has a parent"))
+        .expect("cannot create bench_baselines directory");
+    fs::write(&path, json).expect("cannot write per-class baseline");
+    Some(path)
+}
+
+/// Gate tolerance against a same-class baseline: like runners compare
+/// like numbers, so 10% headroom suffices.
+pub const CLASS_TOLERANCE: f64 = 0.10;
+
+/// Gate tolerance against the workspace-root fallback baseline, which
+/// may have been recorded on different hardware: the historical 20%.
+pub const FALLBACK_TOLERANCE: f64 = 0.20;
 
 /// One gate comparison: fail (return an error line) when `measured`
 /// falls more than `tolerance` (fractional) below `baseline`.

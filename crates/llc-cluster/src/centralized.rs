@@ -2,7 +2,7 @@ use crate::l0::QueueModel;
 use crate::l1::MemberSpec;
 use crate::policy::{Action, ClusterPolicy, Observations};
 use llc_approx::SimplexGrid;
-use llc_core::{Penalty, SetPoint};
+use llc_core::{Penalty, ScaleEstimatorConfig, ServiceScaleEstimator, SetPoint};
 use llc_forecast::{Ewma, Forecaster, LocalLinearTrend};
 use llc_sim::PowerState;
 
@@ -27,6 +27,11 @@ pub struct CentralizedConfig {
     pub r_weight: f64,
     /// Base operating cost `a`.
     pub base_cost: f64,
+    /// Drift-aware service-rate scale estimation (see
+    /// [`llc_core::ServiceScaleEstimator`]); disabled in the paper
+    /// defaults so the baseline comparison stays capacity-blind on both
+    /// sides unless a scenario opts in.
+    pub scale: ScaleEstimatorConfig,
 }
 
 impl CentralizedConfig {
@@ -43,6 +48,7 @@ impl CentralizedConfig {
             q_weight: 100.0,
             r_weight: 1.0,
             base_cost: 0.75,
+            scale: ScaleEstimatorConfig::default(),
         }
     }
 }
@@ -65,6 +71,11 @@ pub struct CentralizedPolicy {
     members: Vec<MemberSpec>,
     lambda_forecast: LocalLinearTrend,
     c_filters: Vec<Ewma>,
+    /// Per-computer delivered-capacity estimators (inert unless
+    /// `config.scale.enabled`) — the same drift correction the
+    /// hierarchy's L0s run, so the dimensionality comparison is not
+    /// confounded by one side seeing the plant and the other not.
+    scales: Vec<ServiceScaleEstimator>,
     arrivals_acc: u64,
     states_total: u64,
     decisions: u64,
@@ -81,10 +92,11 @@ impl CentralizedPolicy {
         assert!(!members.is_empty(), "need at least one computer");
         let m = members.len();
         CentralizedPolicy {
-            config,
             members,
             lambda_forecast: LocalLinearTrend::with_default_noise().with_floor(0.0),
             c_filters: vec![Ewma::paper_default(); m],
+            scales: vec![ServiceScaleEstimator::new(config.scale); m],
+            config,
             arrivals_acc: 0,
             states_total: 0,
             decisions: 0,
@@ -111,9 +123,10 @@ impl CentralizedPolicy {
     }
 
     /// Best frequency index and its fluid-model cost for one computer
-    /// under `(λ_j, ĉ_j, q_j)` over the horizon.
+    /// under `(λ_j, ĉ_j, q_j)` over the horizon, at the computer's
+    /// estimated delivered-capacity scale.
     fn best_frequency(&self, j: usize, lambda: f64, q0: f64) -> (usize, f64) {
-        let model = QueueModel::new(self.config.step_period);
+        let model = QueueModel::with_scale(self.config.step_period, self.scales[j].estimate());
         let response = SetPoint::new(self.config.response_target);
         let q_pen = Penalty::abs(self.config.q_weight);
         let r_pen = Penalty::abs(self.config.r_weight);
@@ -162,6 +175,19 @@ impl ClusterPolicy for CentralizedPolicy {
             if let Some(c) = comp.mean_demand() {
                 self.c_filters[comp.index].observe(c);
             }
+            let busy =
+                comp.queue > 0 && matches!(comp.state, PowerState::On | PowerState::Draining);
+            let phi = self.members[comp.index].phis[comp
+                .frequency_index
+                .min(self.members[comp.index].phis.len() - 1)];
+            let c = self.c_estimate(comp.index);
+            self.scales[comp.index].observe_window(
+                comp.window.completions,
+                self.config.step_period,
+                phi,
+                c,
+                busy,
+            );
         }
         self.arrivals_acc += obs.modules.iter().map(|mo| mo.arrivals).sum::<u64>();
 

@@ -167,6 +167,24 @@ impl ExperimentLog {
     pub fn total_switch_ons(&self) -> u64 {
         self.total_switch_ons
     }
+
+    /// Frequency switches summed over all computers — the limit-cycle
+    /// metric of the drift-aware L0: a capacity-blind controller on a
+    /// degraded plant keeps flapping between the frequency its model
+    /// believes sufficient and the flat-out backlog drain. One shared
+    /// definition, so the bench gate, tests and examples count the same
+    /// thing.
+    pub fn frequency_switches(&self) -> usize {
+        let n = self.ticks.first().map_or(0, |t| t.frequency_indices.len());
+        (0..n)
+            .map(|i| {
+                self.frequency_series(i)
+                    .windows(2)
+                    .filter(|w| w[0].1 != w[1].1)
+                    .count()
+            })
+            .sum()
+    }
 }
 
 /// Driver: runs a [`ClusterPolicy`] against the simulated cluster fed by

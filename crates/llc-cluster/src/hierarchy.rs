@@ -1,7 +1,12 @@
-use crate::l1::{AbstractionMap, GEntry, L1Controller, MemberSpec};
-use crate::l2::{L2Controller, ModuleCostModel, ModuleState};
+use crate::l1::{
+    AbstractionMap, GEntry, L1Config, L1Controller, LearnSpec, MapBackend, MemberSpec,
+};
+use crate::l2::{L2Controller, ModuleCostModel, ModuleLearnSpec, ModuleState};
 use crate::policy::{Action, ClusterPolicy, Observations};
-use crate::{L0Controller, ScenarioConfig};
+use crate::retrain::{
+    ModuleRebuildJob, RebuildContext, RebuildRecord, RetrainConfig, RetrainManager,
+};
+use crate::{L0Config, L0Controller, ScenarioConfig};
 use llc_core::OnlineConfig;
 use llc_sim::{PowerState, WindowStats};
 use std::collections::VecDeque;
@@ -170,6 +175,16 @@ pub struct HierarchicalPolicy {
     /// In-hierarchy feedback state, present once a closed-loop mode is
     /// enabled.
     closed_loop: Option<ClosedLoop>,
+    /// Build context retained for retrain rebuilds (the knobs
+    /// [`HierarchicalPolicy::build`] learned the original models with).
+    l0_config: L0Config,
+    l1_config: L1Config,
+    learn: LearnSpec,
+    module_learn: ModuleLearnSpec,
+    map_backend: MapBackend,
+    /// The retrain consumer, present once
+    /// [`HierarchicalPolicy::enable_retrain`] has been called.
+    retrain: Option<RetrainManager>,
 }
 
 impl HierarchicalPolicy {
@@ -272,6 +287,12 @@ impl HierarchicalPolicy {
             feed_forward: scenario.l2.feed_forward,
             last_gamma: None,
             closed_loop: None,
+            l0_config: scenario.l0,
+            l1_config: scenario.l1,
+            learn: scenario.learn,
+            module_learn: scenario.module_learn,
+            map_backend: scenario.map_backend,
+            retrain: None,
         }
     }
 
@@ -367,10 +388,146 @@ impl HierarchicalPolicy {
     /// stopped being local (see `llc_core::DriftDetector`): incremental
     /// blending is patching a model that is wrong everywhere, and an
     /// offline re-train ([`HierarchicalPolicy::build`]) should be
-    /// scheduled.
+    /// scheduled. Consumed automatically once
+    /// [`HierarchicalPolicy::enable_retrain`] is on; callers driving
+    /// their own rebuild should release the latch with
+    /// [`HierarchicalPolicy::acknowledge_retrain`] after scheduling it.
     pub fn retrain_recommended(&self) -> bool {
         self.l1s.iter().any(|l| l.retrain_recommended())
             || self.l2.as_ref().is_some_and(|l2| l2.retrain_recommended())
+    }
+
+    /// Release the re-train latch on every level's detectors (call after
+    /// scheduling a re-train by hand; a single historical drift episode
+    /// must not pin the recommendation forever). The detectors keep
+    /// observing and will re-latch on the next non-local episode.
+    pub fn acknowledge_retrain(&mut self) {
+        for l1 in &mut self.l1s {
+            l1.acknowledge_retrain();
+        }
+        if let Some(l2) = self.l2.as_mut() {
+            l2.acknowledge_retrain();
+        }
+    }
+
+    /// Switch on the retrain consumer: when `retrain_recommended()`
+    /// latches, a background thread rebuilds the affected modules'
+    /// abstraction maps (and, in multi-module clusters, their L2 cost
+    /// models) over envelopes centered on fresh drift-corrected `ĉ/ŝ`
+    /// telemetry, and the hierarchy hot-swaps them in exactly one L1
+    /// period later — detect → latch → rebuild → hot-swap → reset, with
+    /// `cfg`'s cooldown and budget guarding against rebuild thrash.
+    /// Meaningful together with [`HierarchicalPolicy::enable_closed_loop`]
+    /// (the latch is raised by the online learning path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range knobs (see [`RetrainConfig::validated`]).
+    pub fn enable_retrain(&mut self, cfg: RetrainConfig) {
+        self.retrain = Some(RetrainManager::new(cfg));
+    }
+
+    /// Background rebuilds completed and hot-swapped so far.
+    pub fn retrain_rebuilds(&self) -> usize {
+        self.retrain.as_ref().map_or(0, |r| r.rebuilds())
+    }
+
+    /// The completed rebuilds (trigger tick, swap tick, modules), oldest
+    /// first.
+    pub fn retrain_history(&self) -> &[RebuildRecord] {
+        self.retrain.as_ref().map_or(&[], |r| r.history())
+    }
+
+    /// `true` while a background rebuild is in flight (spawned but not
+    /// yet hot-swapped).
+    pub fn retrain_pending(&self) -> bool {
+        self.retrain.as_ref().is_some_and(|r| r.pending())
+    }
+
+    /// Hot-swap a finished background rebuild in, if one is ready at
+    /// `tick`: install the fresh maps into the affected L1s (resetting
+    /// their detectors and releasing the latch) and the fresh cost
+    /// models into the L2.
+    fn apply_ready_retrain(&mut self, tick: u64) {
+        let Some(manager) = self.retrain.as_mut() else {
+            return;
+        };
+        let Some(output) = manager.take_ready(tick) else {
+            return;
+        };
+        for (m, maps) in output.maps {
+            self.l1s[m].install_maps(maps);
+        }
+        if let Some(l2) = self.l2.as_mut() {
+            for (m, model) in output.models {
+                l2.install_model(m, model);
+            }
+        }
+    }
+
+    /// Spawn a background rebuild when the latch is up and the manager's
+    /// cooldown/budget allow it. The job snapshots *effective* member
+    /// processing times (`ĉ/ŝ`: demand telemetry over the drift-aware
+    /// L0 capacity scale) so the rebuilt envelopes cover the capacity
+    /// actually being delivered, and is joined one L1 period later.
+    fn maybe_trigger_retrain(&mut self, tick: u64) {
+        let Some(manager) = self.retrain.as_ref() else {
+            return;
+        };
+        let cooldown = manager.config().cooldown_periods * self.l1_every;
+        if !manager.can_trigger(tick, cooldown) {
+            return;
+        }
+        let l2_latched: Vec<bool> = (0..self.members.len())
+            .map(|m| {
+                self.l2
+                    .as_ref()
+                    .is_some_and(|l2| l2.module_retrain_recommended(m))
+            })
+            .collect();
+        let affected: Vec<usize> = (0..self.members.len())
+            .filter(|&m| self.l1s[m].retrain_recommended() || l2_latched[m])
+            .collect();
+        if affected.is_empty() {
+            return;
+        }
+        let has_l2 = self.l2.is_some();
+        let jobs: Vec<ModuleRebuildJob> = affected
+            .iter()
+            .map(|&m| {
+                let cs = self.l1s[m].c_estimates();
+                let specs: Vec<MemberSpec> = self.l1s[m]
+                    .member_specs()
+                    .iter()
+                    .zip(&cs)
+                    .map(|(spec, &c_eff)| MemberSpec {
+                        phis: spec.phis.clone(),
+                        speed: spec.speed,
+                        c_prior: c_eff,
+                    })
+                    .collect();
+                let old_maps: Vec<Arc<AbstractionMap>> = (0..specs.len())
+                    .map(|pos| Arc::clone(self.l1s[m].map_arc(pos)))
+                    .collect();
+                ModuleRebuildJob {
+                    module: m,
+                    specs,
+                    old_maps,
+                    rebuild_model: has_l2,
+                }
+            })
+            .collect();
+        let ctx = RebuildContext {
+            l0: self.l0_config,
+            l1: self.l1_config,
+            learn: self.learn,
+            module_learn: self.module_learn,
+            backend: self.map_backend,
+        };
+        self.retrain
+            .as_mut()
+            .expect("checked above")
+            .spawn(jobs, ctx, tick, tick + self.l1_every);
     }
 
     /// Number of computers managed.
@@ -445,9 +602,22 @@ impl ClusterPolicy for HierarchicalPolicy {
     fn decide(&mut self, obs: &Observations) -> Vec<Action> {
         let mut actions = Vec::new();
 
-        // Accumulate windows and feed the per-computer forecasters.
+        // Accumulate windows and feed the per-computer forecasters —
+        // including the delivery-side evidence for the drift-aware scale
+        // estimators (inert unless the scenario enables them): a window
+        // counts as capacity evidence only if the machine was powered
+        // and still backlogged at the sampling instant, the condition
+        // under which completions/T measures service rate rather than
+        // throughput.
         for comp in &obs.computers {
             self.l0s[comp.index].observe(comp.window.arrivals, comp.window.mean_demand());
+            let busy =
+                comp.queue > 0 && matches!(comp.state, PowerState::On | PowerState::Draining);
+            self.l0s[comp.index].observe_service(
+                comp.window.completions,
+                busy,
+                comp.frequency_index,
+            );
             if let Some(c) = comp.window.mean_demand() {
                 self.member_demand_sum[comp.index] += c;
                 self.member_demand_n[comp.index] += 1;
@@ -586,9 +756,20 @@ impl ClusterPolicy for HierarchicalPolicy {
 
         // --- L1: per-module α and γ. ---
         if obs.tick.is_multiple_of(self.l1_every) {
+            // Hot-swap a finished background rebuild in *before* this
+            // round of decisions, so the fresh maps serve immediately.
+            self.apply_ready_retrain(obs.tick);
             let mut total_active = 0usize;
             for m in 0..self.members.len() {
                 let started = Instant::now();
+                // Push the drift-aware L0s' capacity scales up: this
+                // module's map queries, outcome keys and capacity shares
+                // all run at the effective processing time ĉ/ŝ.
+                let scales: Vec<f64> = self.members[m]
+                    .iter()
+                    .map(|&i| self.l0s[i].scale_estimate())
+                    .collect();
+                self.l1s[m].set_member_scales(&scales);
                 let demands: Vec<Option<f64>> = self.members[m]
                     .iter()
                     .map(|&i| {
@@ -743,6 +924,10 @@ impl ClusterPolicy for HierarchicalPolicy {
             if let Some(cl) = self.closed_loop.as_mut() {
                 cl.have_snapshot = true;
             }
+            // The learning passes above may have pushed a detector over
+            // its locality threshold: consume the latch by spawning the
+            // background rebuild (joined one L1 period from now).
+            self.maybe_trigger_retrain(obs.tick);
         }
 
         // --- L0: per-computer frequency, every tick, active machines. ---

@@ -1,15 +1,25 @@
 use llc_core::{
     Decision, Error as LlcError, Forecast, LookaheadController, Penalty, Plant, SearchStats,
-    SetPoint,
+    ServiceScaleEstimator, SetPoint,
 };
 use llc_forecast::{Ewma, Forecaster, LocalLinearTrend};
 
-/// The analytic single-computer queue model of eqns. (5)–(6):
+/// The analytic single-computer queue model of eqns. (5)–(6), extended
+/// with the delivered-capacity scale `ŝ` of the drift-aware L0:
 ///
 /// ```text
-/// q̂(k+1) = max(0, q(k) + (λ̂(k) − φ(k)/ĉ(k)) · T)
-/// r̂(k+1) = (1 + q̂(k+1)) · ĉ(k) / φ(k)
+/// q̂(k+1) = max(0, q(k) + (λ̂(k) − ŝ·φ(k)/ĉ(k)) · T)
+/// r̂(k+1) = (1 + q̂(k+1)) · ĉ(k) / (ŝ·φ(k))
 /// ```
+///
+/// At `ŝ = 1` (the default) this is the paper's model verbatim. A plant
+/// whose capacity silently degrades keeps reporting nominal demands ĉ,
+/// so `φ/ĉ` overstates the service rate; `ŝ` (estimated online from
+/// realized completions, see [`llc_core::ServiceScaleEstimator`])
+/// restores the model to the capacity actually being delivered. Scaling
+/// the service rate by `ŝ` is algebraically identical to stretching the
+/// processing time to `ĉ/ŝ` — the identity the retrain path exploits
+/// when it rebuilds abstraction maps over drift-corrected ĉ ranges.
 ///
 /// Shared between the L0 controller's lookahead and the offline learning
 /// of the L1 abstraction map (which replays exactly this model).
@@ -17,17 +27,32 @@ use llc_forecast::{Ewma, Forecaster, LocalLinearTrend};
 pub struct QueueModel {
     /// Sampling period `T` in seconds.
     pub period: f64,
+    /// Delivered-capacity scale `ŝ` (1.0 = nominal).
+    pub service_scale: f64,
 }
 
 impl QueueModel {
-    /// A model stepped every `period` seconds.
+    /// A nominal-capacity model stepped every `period` seconds.
     ///
     /// # Panics
     ///
     /// Panics if `period` is not positive.
     pub fn new(period: f64) -> Self {
+        Self::with_scale(period, 1.0)
+    }
+
+    /// A model whose delivered service rate is scaled by `service_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `service_scale` is not positive.
+    pub fn with_scale(period: f64, service_scale: f64) -> Self {
         assert!(period > 0.0, "sampling period must be positive");
-        QueueModel { period }
+        assert!(service_scale > 0.0, "service scale must be positive");
+        QueueModel {
+            period,
+            service_scale,
+        }
     }
 
     /// One model step: returns `(q̂(k+1), r̂(k+1))`.
@@ -38,8 +63,8 @@ impl QueueModel {
     pub fn step(&self, q: f64, lambda: f64, c: f64, phi: f64) -> (f64, f64) {
         debug_assert!(phi > 0.0 && phi <= 1.0, "φ out of range: {phi}");
         debug_assert!(c > 0.0, "processing time must be positive");
-        let q_next = (q + (lambda - phi / c) * self.period).max(0.0);
-        let r_next = (1.0 + q_next) * c / phi;
+        let q_next = (q + (lambda - self.service_scale * phi / c) * self.period).max(0.0);
+        let r_next = (1.0 + q_next) * c / (self.service_scale * phi);
         (q_next, r_next)
     }
 }
@@ -59,10 +84,16 @@ pub struct L0Config {
     pub response_target: f64,
     /// Base operating cost `a` (paper: 0.75).
     pub base_cost: f64,
+    /// Drift-aware L0: knobs of the online service-rate scale estimator
+    /// threaded through [`QueueModel::step`]. Disabled in the paper
+    /// defaults (the paper's model is capacity-blind); enable via
+    /// [`crate::ScenarioConfig::with_drift_aware_l0`] or by setting
+    /// `scale.enabled` directly.
+    pub scale: llc_core::ScaleEstimatorConfig,
 }
 
 impl L0Config {
-    /// The paper's §4.3 parameters.
+    /// The paper's §4.3 parameters (drift-blind: scale estimation off).
     pub fn paper_default() -> Self {
         L0Config {
             horizon: 3,
@@ -71,6 +102,7 @@ impl L0Config {
             r_weight: 1.0,
             response_target: 4.0,
             base_cost: 0.75,
+            scale: llc_core::ScaleEstimatorConfig::default(),
         }
     }
 }
@@ -158,6 +190,9 @@ pub struct L0Controller {
     controller: LookaheadController,
     lambda_forecast: LocalLinearTrend,
     c_filter: Ewma,
+    /// Online delivered-capacity estimator (the drift-aware L0; inert
+    /// unless `config.scale.enabled`).
+    scale: ServiceScaleEstimator,
     /// Cumulative states explored (overhead accounting).
     total_stats: SearchStats,
     decisions: u64,
@@ -184,11 +219,12 @@ impl L0Controller {
         let controller =
             LookaheadController::new(config.horizon).expect("config.horizon must be >= 1");
         L0Controller {
-            config,
             phis,
             controller,
             lambda_forecast: LocalLinearTrend::with_default_noise().with_floor(0.0),
             c_filter: Ewma::paper_default(),
+            scale: ServiceScaleEstimator::new(config.scale),
+            config,
             total_stats: SearchStats::default(),
             decisions: 0,
         }
@@ -227,6 +263,35 @@ impl L0Controller {
         self.lambda_forecast.predict_one().max(0.0)
     }
 
+    /// Feed the delivery-side half of the last window to the drift-aware
+    /// scale estimator: requests completed, whether the computer still
+    /// held a backlog at the sampling instant (the busy-window evidence
+    /// guard), and the frequency index in force over the window. A no-op
+    /// while `config.scale.enabled` is false.
+    pub fn observe_service(&mut self, completions: u64, busy: bool, frequency_index: usize) {
+        let phi = self.phis[frequency_index.min(self.phis.len() - 1)];
+        let c = self.c_estimate();
+        self.scale
+            .observe_window(completions, self.config.period, phi, c, busy);
+    }
+
+    /// The delivered-capacity scale `ŝ` the lookahead model currently
+    /// runs at (1.0 while the estimator is disabled or unfed).
+    pub fn scale_estimate(&self) -> f64 {
+        self.scale.estimate()
+    }
+
+    /// Forget the learned capacity scale and re-converge from the
+    /// nominal prior — for callers that *know* the plant was restored
+    /// (a machine replaced, a throttle lifted). The retrain hot-swap
+    /// deliberately does **not** call this: the rebuilt maps are
+    /// centered on `ĉ/ŝ`, so ŝ must keep tracking the still-degraded
+    /// plant or the L0 would believe in nominal capacity again and
+    /// reintroduce the limit cycle the estimator exists to kill.
+    pub fn reset_scale(&mut self) {
+        self.scale.reset();
+    }
+
     /// Decide the frequency index for the next period given the observed
     /// queue length.
     ///
@@ -248,7 +313,7 @@ impl L0Controller {
         );
         let plant = L0Plant {
             phis: &self.phis,
-            model: QueueModel::new(self.config.period),
+            model: QueueModel::with_scale(self.config.period, self.scale.estimate()),
             response: SetPoint::new(self.config.response_target),
             q_penalty: Penalty::abs(self.config.q_weight),
             r_penalty: Penalty::abs(self.config.r_weight),
@@ -442,5 +507,70 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn unsorted_phis_panic() {
         let _ = L0Controller::new(L0Config::paper_default(), vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn scaled_model_halves_the_service_rate() {
+        let nominal = QueueModel::new(30.0);
+        let degraded = QueueModel::with_scale(30.0, 0.5);
+        // λ = 30 req/s, c = 20 ms, φ = 1: nominal service 50 req/s
+        // drains, half-capacity service 25 req/s backs up at +5/s.
+        let (q_nom, _) = nominal.step(0.0, 30.0, 0.02, 1.0);
+        let (q_deg, r_deg) = degraded.step(0.0, 30.0, 0.02, 1.0);
+        assert_eq!(q_nom, 0.0);
+        assert!((q_deg - 150.0).abs() < 1e-9);
+        assert!((r_deg - 151.0 * 0.02 / 0.5).abs() < 1e-9);
+        // ŝ = 1 must reproduce the nominal model bit for bit.
+        assert_eq!(
+            nominal.step(17.0, 41.0, 0.0175, 0.75),
+            QueueModel::with_scale(30.0, 1.0).step(17.0, 41.0, 0.0175, 0.75)
+        );
+    }
+
+    #[test]
+    fn drift_aware_l0_raises_frequency_on_a_degraded_plant() {
+        // 20 req/s at c = 17.5 ms on a plant delivering half its nominal
+        // capacity: the drift-blind L0 believes φ = 0.5 serves 28.6 req/s
+        // and settles there (the too-low leg of the limit cycle — it
+        // really delivers 14.3); the drift-aware L0 learns ŝ ≈ 0.5 from
+        // the completions and provisions at a setting whose *delivered*
+        // rate covers the load (φ ≥ 0.75: ≥ 21.4 req/s).
+        let mut cfg = L0Config::paper_default();
+        cfg.scale = llc_core::ScaleEstimatorConfig::enabled();
+        let mut aware = L0Controller::new(cfg, phis());
+        let mut blind = controller();
+        let true_scale: f64 = 0.5;
+        for _ in 0..10 {
+            blind.observe(20 * 30, Some(0.0175));
+            aware.observe(20 * 30, Some(0.0175));
+            // Busy windows at φ = 0.5: the plant completes ŝ·φ/c·T.
+            let completions = (true_scale * 0.5 / 0.0175 * 30.0).round() as u64;
+            aware.observe_service(completions, true, 1);
+        }
+        assert!(
+            (aware.scale_estimate() - true_scale).abs() < 0.05,
+            "ŝ = {} should track the degraded plant",
+            aware.scale_estimate()
+        );
+        let blind_choice = blind.decide(0).unwrap().frequency_index;
+        let aware_choice = aware.decide(0).unwrap().frequency_index;
+        assert!(
+            aware_choice > blind_choice,
+            "drift-aware must provision above the drift-blind choice \
+             ({aware_choice} vs {blind_choice})"
+        );
+        assert!(
+            aware_choice >= 2,
+            "half capacity at 20 req/s needs delivered rate ≥ load (φ ≥ 0.75), got index {aware_choice}"
+        );
+        aware.reset_scale();
+        assert_eq!(aware.scale_estimate(), 1.0);
+    }
+
+    #[test]
+    fn disabled_scale_estimator_ignores_service_windows() {
+        let mut c = controller();
+        c.observe_service(10_000, true, 0);
+        assert_eq!(c.scale_estimate(), 1.0, "paper default stays blind");
     }
 }

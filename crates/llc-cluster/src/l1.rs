@@ -89,6 +89,13 @@ impl GTable {
             GTable::Hash(table) => CostMap::confidence(table, point),
         }
     }
+
+    fn for_each_confident(&self, min_confidence: f64, f: &mut dyn FnMut(&[f64], &GEntry, f64)) {
+        match self {
+            GTable::Dense(grid) => CostMap::for_each_confident(grid, min_confidence, f),
+            GTable::Hash(table) => CostMap::for_each_confident(table, min_confidence, f),
+        }
+    }
 }
 
 /// The abstraction map `g` for one computer (§4.2): a table over the
@@ -405,6 +412,32 @@ impl AbstractionMap {
         self.table.confidence(&[lambda.max(0.0), c, q0.max(0.0)])
     }
 
+    /// Carry measured truth across a retrain: re-apply every cell of
+    /// `old` that absorbed at least `min_confidence` online observations
+    /// into this (freshly rebuilt) map under `blend`. The rebuild
+    /// replaces the stale *offline* surface; the cells the plant actually
+    /// visited — realized outcomes, not model replays — are the one part
+    /// of the old map worth keeping. Returns the number of cells that
+    /// blended in (out-of-envelope cells are dropped by the dense
+    /// substrate, inserted by the hash substrate — each exactly as its
+    /// online update path does).
+    pub fn reseed_online_from(
+        &mut self,
+        old: &AbstractionMap,
+        min_confidence: f64,
+        blend: &BlendConfig,
+    ) -> usize {
+        let mut applied = 0usize;
+        let table = &mut self.table;
+        old.table
+            .for_each_confident(min_confidence, &mut |key, entry, _conf| {
+                if table.update(key, entry, blend) > 0.0 {
+                    applied += 1;
+                }
+            });
+        applied
+    }
+
     /// The exact out-of-grid answer: replay the analytic L0 model.
     fn replay(&self, lambda: f64, c: f64, q0: f64) -> GEntry {
         let (cost, power, final_q) = L0Controller::simulate_model(
@@ -533,6 +566,12 @@ pub struct L1Controller {
     lambda_forecast: LocalLinearTrend,
     band: UncertaintyBand,
     c_filters: Vec<Ewma>,
+    /// Per-member delivered-capacity scales `ŝ` pushed up from the
+    /// drift-aware L0s (1.0 = nominal). [`L1Controller::c_estimates`]
+    /// divides by them, so every map query, outcome key and capacity
+    /// share runs at the *effective* processing time `ĉ/ŝ` — the
+    /// algebraic twin of scaling the queue model's service rate.
+    member_scales: Vec<f64>,
     prev_alpha: Vec<bool>,
     /// The previous decision's load split — the warm start of the next γ
     /// search. Quantized cost surfaces plateau (one γ quantum often moves
@@ -619,6 +658,7 @@ impl L1Controller {
             lambda_forecast: LocalLinearTrend::with_default_noise().with_floor(0.0),
             band: UncertaintyBand::new(0.25).with_floor(0.0),
             c_filters,
+            member_scales: vec![1.0; m],
             prev_alpha: vec![false; m],
             prev_gamma: vec![0.0; m],
             pending_feed_forward: None,
@@ -814,6 +854,47 @@ impl L1Controller {
         &self.maps[member]
     }
 
+    /// The shared handle of `member`'s abstraction map (an `Arc` clone
+    /// is O(1) — the retrain path snapshots old maps through this to
+    /// re-seed their measured cells into a rebuilt map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range.
+    pub fn map_arc(&self, member: usize) -> &Arc<AbstractionMap> {
+        &self.maps[member]
+    }
+
+    /// The static member descriptions the controller was built over.
+    pub fn member_specs(&self) -> &[MemberSpec] {
+        &self.members
+    }
+
+    /// Hot-swap freshly retrained abstraction maps in: the next decision
+    /// consults the new maps. The retrain consumer calls this after a
+    /// background [`AbstractionMap::learn_for_member`] pass over
+    /// drift-corrected telemetry ranges. The online state is re-anchored
+    /// on the new models: pending outcome logs are cleared (they were
+    /// residuals against the *old* maps), every member's drift detector
+    /// restarts from a clean slate, and the re-train latch is released.
+    /// Lifetime counters (`online_updates`, `drift_detections`) survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map count differs from the member count.
+    pub fn install_maps(&mut self, maps: Vec<Arc<AbstractionMap>>) {
+        assert_eq!(maps.len(), self.members.len(), "one map per member");
+        self.maps = maps;
+        if let Some(online) = self.online.as_mut() {
+            for log in &mut online.logs {
+                let _ = log.drain();
+            }
+            for d in &mut online.detectors {
+                d.rearm();
+            }
+        }
+    }
+
     /// Feed one L1 window: module arrivals over `T_L1` and the mean local
     /// demand observed per member (`None` where nothing completed).
     pub fn observe(&mut self, module_arrivals: u64, member_demands: &[Option<f64>]) {
@@ -835,18 +916,43 @@ impl L1Controller {
         }
     }
 
-    /// Current per-member local processing-time estimates.
+    /// Push the per-member delivered-capacity scales `ŝ` estimated by
+    /// the drift-aware L0s (1.0 = nominal). Subsequent
+    /// [`L1Controller::c_estimates`] return effective processing times
+    /// `ĉ/ŝ`, so the abstraction-map queries, realized-outcome keys and
+    /// capacity shares all see the capacity actually being delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the member count or any
+    /// scale is not positive.
+    pub fn set_member_scales(&mut self, scales: &[f64]) {
+        assert_eq!(scales.len(), self.members.len(), "one scale per member");
+        assert!(
+            scales.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "scales must be positive and finite"
+        );
+        self.member_scales.copy_from_slice(scales);
+    }
+
+    /// The per-member delivered-capacity scales in force.
+    pub fn member_scales(&self) -> &[f64] {
+        &self.member_scales
+    }
+
+    /// Current per-member *effective* processing-time estimates: the
+    /// EWMA-filtered demand telemetry ĉ (falling back to the prior before
+    /// any completion), divided by the member's delivered-capacity scale
+    /// ŝ — at nominal scale exactly the paper's estimate.
     pub fn c_estimates(&self) -> Vec<f64> {
         self.members
             .iter()
             .zip(&self.c_filters)
-            .map(|(m, f)| {
+            .zip(&self.member_scales)
+            .map(|((m, f), s)| {
                 let c = f.estimate();
-                if c > 0.0 {
-                    c
-                } else {
-                    m.c_prior
-                }
+                let c = if c > 0.0 { c } else { m.c_prior };
+                c / s
             })
             .collect()
     }
@@ -1321,6 +1427,79 @@ mod tests {
         let other = hash.query(300.0, 0.0175, 10.0);
         let replayed = learn(MapBackend::Hash).query(300.0, 0.0175, 10.0);
         assert_eq!(other, replayed, "intermediate region keeps exact replay");
+    }
+
+    #[test]
+    fn reseed_carries_measured_cells_into_a_rebuilt_map() {
+        use llc_approx::BlendConfig;
+        use llc_core::OnlineConfig;
+        let m = member(FrequencyProfile::TallEight);
+        let l0 = L0Config::paper_default();
+        for backend in [MapBackend::Dense, MapBackend::Hash] {
+            let learn = |c_mid: f64| {
+                AbstractionMap::learn_with_backend(
+                    &l0,
+                    &m.phis,
+                    (c_mid * 0.6, c_mid * 1.6),
+                    2.0 / (c_mid * 0.6),
+                    150.0,
+                    LearnSpec::coarse(),
+                    backend,
+                )
+            };
+            // The old map absorbed measured outcomes at one operating
+            // point (in-envelope for both the old and rebuilt grids).
+            let mut old = learn(0.0175);
+            let measured = GEntry {
+                cost: 77.0,
+                power: 2.5,
+                final_q: 3.0,
+            };
+            let cfg = OnlineConfig::default();
+            for _ in 0..30 {
+                assert!(old.update_online(20.0, 0.02, 10.0, measured, &cfg) > 0.0);
+            }
+            // Rebuild over a drift-corrected (stretched) envelope, then
+            // reseed: the visited cell's measured truth carries over. The
+            // old cell's *center* re-quantizes into the rebuilt grid, so
+            // probe the λ neighborhood rather than one exact key.
+            let mut rebuilt = learn(0.02);
+            let closest = |map: &AbstractionMap| {
+                (0..45)
+                    .map(|l| (map.query(l as f64, 0.02, 10.0).cost - measured.cost).abs())
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let before = closest(&rebuilt);
+            let applied = rebuilt.reseed_online_from(&old, 2.0, &BlendConfig::new(0.5, 0.0));
+            assert!(applied >= 1, "{backend:?}: confident cell must reseed");
+            let after = closest(&rebuilt);
+            assert!(
+                after < before,
+                "{backend:?}: reseed must pull the rebuilt surface toward the \
+                 measurement (closest gap {before:.2} -> {after:.2})"
+            );
+            // A low-confidence threshold filter: nothing carried when the
+            // bar is higher than any cell's count.
+            let mut fresh = learn(0.02);
+            assert_eq!(
+                fresh.reseed_online_from(&old, 1e9, &BlendConfig::new(0.5, 0.0)),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn member_scales_shift_effective_processing_time() {
+        let mut l1 = build_module(2);
+        for _ in 0..4 {
+            l1.observe(30 * 120, &[Some(0.0175); 2]);
+        }
+        let nominal = l1.c_estimates();
+        l1.set_member_scales(&[0.5, 1.0]);
+        let scaled = l1.c_estimates();
+        assert!((scaled[0] - nominal[0] / 0.5).abs() < 1e-12);
+        assert_eq!(scaled[1], nominal[1]);
+        assert_eq!(l1.member_scales(), &[0.5, 1.0]);
     }
 
     #[test]

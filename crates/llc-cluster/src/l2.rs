@@ -640,6 +640,48 @@ impl L2Controller {
             .is_some_and(|o| o.detectors.iter().any(|d| d.retrain_recommended()))
     }
 
+    /// `true` when *this module's* detector latched the re-train signal —
+    /// the per-module resolution the retrain consumer rebuilds at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is out of range.
+    pub fn module_retrain_recommended(&self, module: usize) -> bool {
+        assert!(module < self.models.len(), "module index out of range");
+        self.online
+            .as_ref()
+            .is_some_and(|o| o.detectors[module].retrain_recommended())
+    }
+
+    /// Hot-swap a freshly retrained cost model in for `module`: the next
+    /// decision scores splits against the new model. The module's online
+    /// residual layer starts from zero (the residuals corrected the *old*
+    /// tree), its drift detector re-arms, and — if online learning is on —
+    /// the new model's residual grid is enabled immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is out of range.
+    pub fn install_model(&mut self, module: usize, mut model: ModuleCostModel) {
+        assert!(module < self.models.len(), "module index out of range");
+        if let Some(online) = self.online.as_mut() {
+            model.enable_online();
+            online.detectors[module].rearm();
+            // Outcomes recorded against the old model are stale evidence:
+            // keep the other modules' pending entries, drop this one's.
+            let kept: Vec<_> = online
+                .log
+                .drain()
+                .into_iter()
+                .filter(|obs| obs.outcome.0 != module)
+                .collect();
+            for obs in kept {
+                online.log.push(obs.key, obs.outcome, obs.tick);
+            }
+        }
+        self.models[module] = model;
+    }
+
     /// Clear every module detector's re-train latch.
     pub fn acknowledge_retrain(&mut self) {
         if let Some(online) = self.online.as_mut() {

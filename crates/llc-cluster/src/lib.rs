@@ -38,6 +38,7 @@ mod l1;
 mod l2;
 mod policy;
 mod profiles;
+mod retrain;
 
 pub use baselines::{AlwaysMaxPolicy, ThresholdConfig, ThresholdPolicy};
 pub use centralized::{joint_candidate_count, CentralizedConfig, CentralizedPolicy};
@@ -53,3 +54,4 @@ pub use l1::{
 pub use l2::{L2Config, L2Controller, L2Decision, ModuleCostModel, ModuleLearnSpec, ModuleState};
 pub use policy::{Action, ClusterPolicy, ComputerObs, ModuleObs, Observations};
 pub use profiles::{ComputerProfile, FrequencyProfile};
+pub use retrain::{RebuildRecord, RetrainConfig, RetrainManager};

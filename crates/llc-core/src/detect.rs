@@ -231,6 +231,20 @@ impl DriftDetector {
         self.retrain = false;
         self.recent.clear();
     }
+
+    /// Re-arm the test against a freshly swapped model: the running
+    /// statistics, fast-rate hold and re-train latch all restart from a
+    /// clean slate (old residuals were measured against a model that no
+    /// longer exists), while the lifetime `samples`/`detections`
+    /// counters survive for reporting.
+    pub fn rearm(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.up = 0.0;
+        self.down = 0.0;
+        self.fast_left = 0;
+        self.acknowledge_retrain();
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +351,63 @@ mod tests {
         assert!(d.detections() >= 3);
         d.acknowledge_retrain();
         assert!(!d.retrain_recommended());
+    }
+
+    /// The full retrain-latch lifecycle the `RetrainManager` consumes:
+    /// latch on global drift, acknowledge (consume), and *re-latch* when
+    /// a later drift episode is again non-local — a single historical
+    /// episode must not pin the recommendation forever, and consuming it
+    /// must not deafen the detector to the next one.
+    #[test]
+    fn latch_consume_relatch_cycle() {
+        let cfg = DetectorConfig {
+            retrain_window: 200,
+            retrain_detections: 3,
+            ..DetectorConfig::default()
+        };
+        let mut d = DriftDetector::new(cfg);
+        let drive_until_latched = |d: &mut DriftDetector, seed: u64| {
+            let mut level = 0.0;
+            for (k, x) in noise(seed, 600, 0.05).into_iter().enumerate() {
+                if k % 40 == 0 {
+                    level += 0.6;
+                }
+                d.observe(x + level);
+                if d.retrain_recommended() {
+                    return;
+                }
+            }
+            panic!("repeated shifts must latch");
+        };
+        drive_until_latched(&mut d, 41);
+        assert!(d.retrain_recommended(), "episode 1 latches");
+        let after_first = d.detections();
+
+        // Consume: the latch clears and *stays* clear through a long
+        // stationary stretch (post-consumption quiet must not re-latch
+        // off the historical firings).
+        d.acknowledge_retrain();
+        assert!(!d.retrain_recommended(), "acknowledge consumes the latch");
+        for x in noise(43, 300, 0.05) {
+            d.observe(x);
+        }
+        assert!(
+            !d.retrain_recommended(),
+            "a single historical episode must not pin the recommendation"
+        );
+
+        // A second global-drift episode re-latches from scratch.
+        drive_until_latched(&mut d, 47);
+        assert!(d.retrain_recommended(), "episode 2 re-latches");
+        assert!(d.detections() > after_first);
+
+        // `rearm` (the hot-swap path) also consumes the latch and
+        // restarts the running statistics, keeping lifetime counters.
+        let lifetime = d.detections();
+        d.rearm();
+        assert!(!d.retrain_recommended());
+        assert_eq!(d.detections(), lifetime);
+        assert_eq!(d.rate(), LearnRate::Steady, "fast hold cleared");
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod error;
 mod llc;
 mod model;
 mod online;
+mod scale;
 mod schedule;
 mod uncertainty;
 
@@ -68,5 +69,6 @@ pub use error::Error;
 pub use llc::{Decision, LookaheadController, SearchStats};
 pub use model::{EnvStep, Forecast, Plant};
 pub use online::{Observation, ObservationLog, OnlineConfig};
+pub use scale::{ScaleEstimatorConfig, ServiceScaleEstimator};
 pub use schedule::{LevelTick, MultiRateSchedule};
 pub use uncertainty::UncertaintyBand;

@@ -389,6 +389,18 @@ impl ClusterSim {
         }
     }
 
+    /// The capacity-drift factor currently injected into computer `i` —
+    /// the *ground truth* behind the controllers' online scale
+    /// estimates, exposed so tests and benches can compare `ŝ` against
+    /// what the plant actually delivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn service_scale(&self, i: usize) -> f64 {
+        self.computers[i].service_scale()
+    }
+
     /// Drain per-computer window statistics (resetting them), in global
     /// computer order. Each window carries the energy drawn since the
     /// previous drain (integrated up to the current simulation time).

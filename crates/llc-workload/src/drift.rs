@@ -181,6 +181,49 @@ pub fn drift_scenarios(
     ]
 }
 
+/// The *deep* degradation scenario the drift-aware L0 exists for: steady
+/// traffic near 40% of peak while delivered capacity steps down to half
+/// of nominal 30% into the run. The load still *fits* the degraded plant
+/// — but only at frequencies well above what a capacity-blind queue
+/// model believes necessary, which is exactly the regime where the
+/// drift-blind L0 limit-cycles between too-low frequencies (queues grow
+/// against the model's prediction) and flat-out backlog drains (the
+/// model thinks they finish early). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`, `interval <= 0`, or `peak_rate <= 0`.
+pub fn deep_degradation_scenario(
+    seed: u64,
+    buckets: usize,
+    interval: f64,
+    peak_rate: f64,
+) -> DriftScenario {
+    assert!(buckets > 0, "need at least one bucket");
+    assert!(interval > 0.0, "interval must be positive");
+    assert!(peak_rate > 0.0, "peak rate must be positive");
+    let steady = SyntheticBuilder::new(
+        DiurnalShape::new(0.4 * peak_rate * interval),
+        buckets,
+        interval,
+    )
+    .with_noise(crate::NoiseSegment {
+        start: 0,
+        end: buckets,
+        var_per_30s: (0.02 * peak_rate * interval).powi(2) / (interval / 30.0),
+    })
+    .build(seed ^ 0xdeeb);
+    DriftScenario {
+        name: "deep-degradation",
+        trace: steady,
+        capacity: CapacityProfile::Step {
+            at: 0.3,
+            before: 1.0,
+            after: 0.5,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +271,24 @@ mod tests {
         assert_eq!(p.scale_at(49, 100), 1.0);
         assert_eq!(p.scale_at(50, 100), 0.65);
         assert_eq!(p.scale_at(99, 100), 0.65);
+    }
+
+    #[test]
+    fn deep_degradation_is_deterministic_and_deep() {
+        let a = deep_degradation_scenario(7, 120, 120.0, 50.0);
+        let b = deep_degradation_scenario(7, 120, 120.0, 50.0);
+        assert_eq!(a, b, "same seed, same scenario");
+        assert_eq!(a.name, "deep-degradation");
+        assert_eq!(a.trace.len(), 120);
+        // Nominal before the step, half capacity after.
+        assert!(a.scale_at(0) > 0.99);
+        assert!((a.scale_at(119) - 0.5).abs() < 1e-12);
+        // The post-step load still fits the degraded plant: ~40% of peak
+        // against 50% of capacity — the limit-cycle regime, not pure
+        // overload.
+        let mean = a.trace.counts().iter().sum::<f64>() / a.trace.len() as f64 / 120.0;
+        assert!(mean < 0.5 * 50.0, "mean rate {mean} must fit 50% capacity");
+        assert!(mean > 0.3 * 50.0, "mean rate {mean} must stress the plant");
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod trace;
 mod wc98;
 
 pub use distributions::{derive_seed, Gaussian, LogNormal, Poisson, Zipf};
-pub use drift::{drift_scenarios, CapacityProfile, DriftScenario};
+pub use drift::{deep_degradation_scenario, drift_scenarios, CapacityProfile, DriftScenario};
 pub use flash::FlashCrowd;
 pub use locality::{LocalityModel, RequestSampler};
 pub use store::VirtualStore;

@@ -1,0 +1,92 @@
+//! Self-healing at every layer, end to end: the plant silently loses
+//! half its capacity mid-run (`deep-degradation`), and the hierarchy
+//! heals itself twice over —
+//!
+//! * the **drift-aware L0** estimates the delivered-capacity scale `ŝ`
+//!   from realized completions and threads it through the queue model,
+//!   so the frequency controllers stop limit-cycling between too-low
+//!   settings and flat-out backlog drains;
+//! * the **retrain consumer** turns the latched `retrain_recommended()`
+//!   signal into a *background* map rebuild over drift-corrected `ĉ/ŝ`
+//!   envelopes, hot-swapped in one L1 period after the trigger with the
+//!   drift detectors reset.
+//!
+//! Run with: `cargo run --release -p llc-examples --example self_healing`
+
+use llc_cluster::{single_module, Experiment, HierarchicalPolicy, RetrainConfig, ScenarioConfig};
+use llc_core::OnlineConfig;
+use llc_workload::{deep_degradation_scenario, VirtualStore};
+
+fn scenario() -> ScenarioConfig {
+    let mut sc = single_module(2).with_coarse_learning().with_hash_maps();
+    sc.l1.min_active = 2;
+    sc
+}
+
+fn main() {
+    let sc = scenario();
+    let capacity: f64 = sc.member_specs()[0]
+        .iter()
+        .map(|m| m.speed / m.c_prior)
+        .sum();
+    let scenario_def = deep_degradation_scenario(0xC105ED, 120, 120.0, capacity);
+    let store = VirtualStore::paper_default(5);
+
+    let mut maes = Vec::new();
+    for self_healing in [false, true] {
+        let sc = if self_healing {
+            scenario().with_drift_aware_l0()
+        } else {
+            scenario()
+        };
+        let mut policy = HierarchicalPolicy::build(&sc);
+        policy.enable_closed_loop(OnlineConfig::default());
+        if self_healing {
+            policy.enable_retrain(RetrainConfig::default());
+        }
+        let exp = Experiment {
+            drift: Some(scenario_def.capacity),
+            ..Experiment::paper_default(0xBEEF)
+        };
+        let log = exp
+            .run(sc.to_sim_config(), &mut policy, &scenario_def.trace, &store)
+            .expect("well-formed scenario");
+        let s = log.summary();
+        let mae = policy.tracking_error().unwrap_or(f64::NAN);
+        println!(
+            "{:<13} tracking MAE {:>8.3} | {} freq switches | mean response {:>7.3} s | \
+             violations {:>4.1}% | ŝ = [{}] | {} rebuilds{}",
+            if self_healing {
+                "self-healing"
+            } else {
+                "closed-loop"
+            },
+            mae,
+            log.frequency_switches(),
+            s.mean_response,
+            100.0 * s.violation_fraction,
+            (0..policy.num_computers())
+                .map(|i| format!("{:.2}", policy.l0(i).scale_estimate()))
+                .collect::<Vec<_>>()
+                .join(", "),
+            policy.retrain_rebuilds(),
+            if policy.retrain_recommended() {
+                ", retrain latched"
+            } else {
+                ""
+            },
+        );
+        for r in policy.retrain_history() {
+            println!(
+                "    rebuild: triggered tick {}, hot-swapped tick {} (modules {:?})",
+                r.trigger_tick, r.swap_tick, r.modules
+            );
+        }
+        maes.push(mae);
+    }
+    println!(
+        "\ndrift-aware L0 + retrain hot-swap track the half-capacity plant {:.1}x more \
+         accurately than the drift-blind closed loop.",
+        maes[0] / maes[1].max(1e-12),
+    );
+}
