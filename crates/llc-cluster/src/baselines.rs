@@ -314,6 +314,8 @@ mod tests {
                 },
                 state,
                 frequency_index: 0,
+                telemetry_ok: true,
+                rejected: 0,
             })
             .collect();
         Observations {

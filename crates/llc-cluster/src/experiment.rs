@@ -1,7 +1,8 @@
 use crate::policy::{Action, ClusterPolicy, ComputerObs, ModuleObs, Observations};
 use llc_sim::{ClusterConfig, ClusterSim, SimError};
 use llc_workload::{
-    derive_seed, spread_arrivals, CapacityProfile, RequestSampler, Trace, VirtualStore,
+    derive_seed, spread_arrivals, CapacityProfile, FaultKind, FaultPlan, Gaussian, RequestSampler,
+    Trace, VirtualStore,
 };
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -206,6 +207,11 @@ pub struct Experiment {
     /// the power meter — the case the closed-loop hierarchy exists for).
     /// `None` = nominal plant.
     pub drift: Option<CapacityProfile>,
+    /// Scheduled abrupt faults injected over the run: crashes, restarts
+    /// and wedged actuators hit the simulator; blackouts and sensor
+    /// noise corrupt the observation stream before the policy sees it.
+    /// `None` = fault-free plant.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Experiment {
@@ -217,6 +223,7 @@ impl Experiment {
             prewarmed: true,
             response_target: 4.0,
             drift: None,
+            faults: None,
         }
     }
 
@@ -268,7 +275,36 @@ impl Experiment {
 
         // Previous-window stats start empty.
         let mut prev_comp_stats = vec![llc_sim::WindowStats::default(); num_computers];
+        let mut prev_rejections = vec![0u64; num_computers];
         let mut prev_mod_stats = vec![llc_sim::WindowStats::default(); num_modules];
+
+        // Fault-injection state: which computers are currently dark or
+        // reporting noisy sensors. Noise draws come from a dedicated
+        // seeded stream so a fault plan perturbs nothing else.
+        if let Some(plan) = &self.faults {
+            if let Some(max) = plan.max_computer() {
+                assert!(
+                    max < num_computers,
+                    "fault plan references computer {max}, cluster has {num_computers}"
+                );
+            }
+        }
+        let mut blacked_out = vec![false; num_computers];
+        // A crashed machine is dark the realistic way: it stops
+        // reporting entirely (crash-stop is indistinguishable from a
+        // partition), and the observation stream serves the last state
+        // the management plane saw before the lights went out — not the
+        // plant's ground truth.
+        let mut crashed_dark = vec![false; num_computers];
+        let mut last_state: Vec<llc_sim::PowerState> = (0..num_computers)
+            .map(|i| sim.computer(i).state())
+            .collect();
+        let mut last_frequency: Vec<usize> = (0..num_computers)
+            .map(|i| sim.computer(i).frequency_index())
+            .collect();
+        let mut noise_sigma: Vec<Option<f64>> = vec![None; num_computers];
+        let mut noise_rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, 0xFA17));
+        let unit_gaussian = Gaussian::new(0.0, 1.0);
 
         let total_ticks = ticks_trace.len();
         let mut applied_scale = f64::NAN;
@@ -290,20 +326,73 @@ impl Experiment {
                 }
             }
 
-            // 1. Observe: previous window + instantaneous state.
+            // 0b. Fire this tick's scheduled faults: crashes, restarts
+            // and wedged actuators hit the plant; blackout/noise toggles
+            // shape how the observation below is (mis)reported.
+            if let Some(plan) = &self.faults {
+                for event in plan.events_at(tick) {
+                    let i = event.computer;
+                    match event.kind {
+                        FaultKind::Crash { requeue } => {
+                            sim.crash(i, requeue);
+                            crashed_dark[i] = true;
+                        }
+                        FaultKind::Restart => {
+                            sim.restart(i);
+                            crashed_dark[i] = false;
+                        }
+                        FaultKind::BlackoutStart => blacked_out[i] = true,
+                        FaultKind::BlackoutEnd => blacked_out[i] = false,
+                        FaultKind::NoiseStart { sigma } => noise_sigma[i] = Some(sigma),
+                        FaultKind::NoiseEnd => noise_sigma[i] = None,
+                        FaultKind::StickActuator => sim.set_actuator_stuck(i, true),
+                        FaultKind::UnstickActuator => sim.set_actuator_stuck(i, false),
+                    }
+                }
+            }
+
+            // 1. Observe: previous window + instantaneous state. A
+            // blacked-out computer reports a blank window and no queue
+            // reading (`telemetry_ok = false`); a noisy one reports
+            // multiplicatively corrupted response/demand sums.
             let computers: Vec<ComputerObs> = (0..num_computers)
                 .map(|i| {
                     let c = sim.computer(i);
                     let module = (0..num_modules)
                         .find(|&m| sim.module_members(m).contains(&i))
                         .expect("every computer belongs to a module");
+                    let dark = blacked_out[i] || crashed_dark[i];
+                    if !dark {
+                        last_state[i] = c.state();
+                        last_frequency[i] = c.frequency_index();
+                    }
+                    let mut window = if dark {
+                        llc_sim::WindowStats::default()
+                    } else {
+                        prev_comp_stats[i]
+                    };
+                    if let (Some(sigma), false) = (noise_sigma[i], dark) {
+                        // Corruption factors are strictly positive and
+                        // finite: garbage, not NaN — estimators must
+                        // survive both.
+                        let corrupt = |x: f64, g: f64| x * (1.0 + sigma * g).max(0.05);
+                        window.response_sum =
+                            corrupt(window.response_sum, unit_gaussian.sample(&mut noise_rng));
+                        window.demand_sum =
+                            corrupt(window.demand_sum, unit_gaussian.sample(&mut noise_rng));
+                    }
                     ComputerObs {
                         index: i,
                         module,
-                        queue: c.queue_length(),
-                        window: prev_comp_stats[i],
-                        state: c.state(),
-                        frequency_index: c.frequency_index(),
+                        queue: if dark { 0 } else { c.queue_length() },
+                        window,
+                        state: last_state[i],
+                        frequency_index: last_frequency[i],
+                        telemetry_ok: !dark,
+                        // Router-side, so *not* blanked when the machine
+                        // is dark: the dispatcher knows its failed sends
+                        // even when the target is silent.
+                        rejected: prev_rejections[i],
                     }
                 })
                 .collect();
@@ -347,6 +436,7 @@ impl Experiment {
             // 4. Drain window stats and record.
             prev_comp_stats = sim.drain_computer_stats();
             prev_mod_stats = sim.drain_module_stats();
+            prev_rejections = sim.drain_dispatch_rejections();
             let completions: u64 = prev_comp_stats.iter().map(|w| w.completions).sum();
             let response_sum: f64 = prev_comp_stats.iter().map(|w| w.response_sum).sum();
             log.ticks.push(TickRecord {

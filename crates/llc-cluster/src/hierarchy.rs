@@ -1,5 +1,5 @@
 use crate::l1::{
-    AbstractionMap, GEntry, L1Config, L1Controller, LearnSpec, MapBackend, MemberSpec,
+    AbstractionMap, GEntry, L1Config, L1Controller, L1Decision, LearnSpec, MapBackend, MemberSpec,
 };
 use crate::l2::{L2Controller, ModuleCostModel, ModuleLearnSpec, ModuleState};
 use crate::policy::{Action, ClusterPolicy, Observations};
@@ -12,6 +12,16 @@ use llc_sim::{PowerState, WindowStats};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Timeout multiple of the response target charged (as slack, per
+/// refused request, normalized per window second like the power term) to
+/// a window in which the dispatcher's sends to a member failed. A
+/// request a dead machine refuses never completes from the plant's point
+/// of view — the *client* abandons it only after a timeout an order of
+/// magnitude above the target (the classic ~30 s client timeout against
+/// a ~4 s response goal). Left unpriced, shedding load into a crashed
+/// member would *flatter* the realized books.
+const DROP_TIMEOUT_FACTOR: f64 = 8.0;
 
 /// Wall-clock overhead accounting per hierarchy level.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -100,6 +110,13 @@ struct ClosedLoop {
     /// over the period that just ended — boot dead time and off periods
     /// produce no valid map outcome.
     served: Vec<bool>,
+    /// Requests the dispatcher offered to the member over the running L1
+    /// window that were refused (router-side count, valid through
+    /// telemetry darkness). A period with refusals always produces a
+    /// prequential error sample — the charged cost of the thrown-away
+    /// work against whatever the maps predicted — but never a learning
+    /// sample: failed sends are not service observations.
+    refused: Vec<u64>,
     /// Set after the first L1 tick (the first window has no snapshot).
     have_snapshot: bool,
     /// Per-module sum of realized per-L0-window costs over the running
@@ -129,6 +146,7 @@ impl ClosedLoop {
             window_acc: vec![WindowStats::default(); computers],
             q0: vec![0.0; computers],
             served: vec![false; computers],
+            refused: vec![0; computers],
             have_snapshot: false,
             module_cost_acc: vec![0.0; modules],
             module_arrivals: vec![0; modules],
@@ -138,6 +156,108 @@ impl ClosedLoop {
             pending: VecDeque::new(),
         }
     }
+}
+
+/// Knobs of the churn watchdog (see
+/// [`HierarchicalPolicy::enable_fault_tolerance`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultToleranceConfig {
+    /// Consecutive suspect observation windows (telemetry lost, or found
+    /// `Off` while ordered on) before a member is declared dead and
+    /// excluded from planning. The paper's base window is 30 s, so the
+    /// default of 3 declares death after ~90 s of silence.
+    pub suspect_after: u64,
+    /// Minimum fraction of a module's *live* members that must deliver
+    /// healthy telemetry for the L1 to trust its models; below it the
+    /// module falls back to safe mode (everything live on, uniform split,
+    /// analytic L0 queue model still running frequencies).
+    pub telemetry_quorum: f64,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            suspect_after: 3,
+            telemetry_quorum: 0.5,
+        }
+    }
+}
+
+impl FaultToleranceConfig {
+    /// Validate the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suspect_after` is zero or `telemetry_quorum` is outside
+    /// `[0, 1]`.
+    pub fn validated(self) -> Self {
+        assert!(self.suspect_after >= 1, "suspect_after must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&self.telemetry_quorum),
+            "telemetry_quorum must be in [0, 1]"
+        );
+        self
+    }
+}
+
+/// Watchdog state tracking cluster membership through churn.
+#[derive(Debug)]
+struct FaultTolerance {
+    cfg: FaultToleranceConfig,
+    /// Consecutive suspect windows per computer.
+    missed: Vec<u64>,
+    /// Consecutive healthy-telemetry windows per computer (gates the
+    /// optimistic re-probe of a crashed-and-silent machine).
+    healthy: Vec<u64>,
+    /// Members currently declared dead.
+    dead: Vec<bool>,
+    /// The α the last L1 decision wanted per computer — a machine found
+    /// `Off` while wanted on has crashed, not been shed.
+    wanted_on: Vec<bool>,
+    /// Set on death/rejoin; consumed by the L2 (hysteresis relaxation).
+    membership_changed: bool,
+    deaths: u64,
+    recoveries: u64,
+    safe_mode_periods: u64,
+}
+
+impl FaultTolerance {
+    fn new(cfg: FaultToleranceConfig, computers: usize) -> Self {
+        FaultTolerance {
+            cfg,
+            missed: vec![0; computers],
+            healthy: vec![0; computers],
+            dead: vec![false; computers],
+            wanted_on: vec![false; computers],
+            membership_changed: false,
+            deaths: 0,
+            recoveries: 0,
+            safe_mode_periods: 0,
+        }
+    }
+}
+
+/// Replace the freshly rebuilt map of every member flagged `keep_old`
+/// with its currently installed map: a member that died between the
+/// rebuild trigger and the swap fed the job telemetry poisoned by its
+/// fault, so its fresh map must not be installed — it keeps the pre-fault
+/// map until it rejoins and a later rebuild covers it.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub(crate) fn filter_rebuilt_maps(
+    fresh: Vec<Arc<AbstractionMap>>,
+    keep_old: &[bool],
+    old: &[Arc<AbstractionMap>],
+) -> Vec<Arc<AbstractionMap>> {
+    assert_eq!(fresh.len(), keep_old.len(), "one flag per rebuilt map");
+    assert_eq!(old.len(), keep_old.len(), "one installed map per member");
+    fresh
+        .into_iter()
+        .zip(keep_old.iter().zip(old))
+        .map(|(f, (&k, o))| if k { Arc::clone(o) } else { f })
+        .collect()
 }
 
 /// The complete three-level controller of Fig. 2, implementing
@@ -185,6 +305,9 @@ pub struct HierarchicalPolicy {
     /// The retrain consumer, present once
     /// [`HierarchicalPolicy::enable_retrain`] has been called.
     retrain: Option<RetrainManager>,
+    /// Churn watchdog, present once
+    /// [`HierarchicalPolicy::enable_fault_tolerance`] has been called.
+    fault_tolerance: Option<FaultTolerance>,
 }
 
 impl HierarchicalPolicy {
@@ -293,7 +416,63 @@ impl HierarchicalPolicy {
             module_learn: scenario.module_learn,
             map_backend: scenario.map_backend,
             retrain: None,
+            fault_tolerance: None,
         }
+    }
+
+    /// Switch on churn tolerance: a per-computer watchdog declares a
+    /// member dead after [`FaultToleranceConfig::suspect_after`]
+    /// consecutive suspect windows (telemetry lost, or found `Off` while
+    /// ordered on). Dead members are excluded from the L1's α/γ search
+    /// and receive no directives; estimators and drift detectors hold
+    /// their state through telemetry gaps instead of ingesting blanks; a
+    /// module below the telemetry quorum falls back to safe mode (all
+    /// live members on, uniform split); the L2 relaxes its hysteresis for
+    /// one decision on every membership change; and a member that died
+    /// between a retrain trigger and the hot-swap keeps its pre-fault
+    /// map. Without this call the policy is fault-blind: blank blackout
+    /// windows and crashed machines are taken at face value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range knobs (see
+    /// [`FaultToleranceConfig::validated`]).
+    pub fn enable_fault_tolerance(&mut self, cfg: FaultToleranceConfig) {
+        let cfg = cfg.validated();
+        self.fault_tolerance = Some(FaultTolerance::new(cfg, self.l0s.len()));
+    }
+
+    /// `true` once [`HierarchicalPolicy::enable_fault_tolerance`] is on.
+    pub fn fault_tolerance_enabled(&self) -> bool {
+        self.fault_tolerance.is_some()
+    }
+
+    /// `true` while the watchdog considers computer `i` dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (with fault tolerance enabled).
+    pub fn member_dead(&self, i: usize) -> bool {
+        self.fault_tolerance.as_ref().is_some_and(|ft| ft.dead[i])
+    }
+
+    /// Members declared dead so far (cumulative, not current).
+    pub fn member_deaths(&self) -> u64 {
+        self.fault_tolerance.as_ref().map_or(0, |ft| ft.deaths)
+    }
+
+    /// Dead members that rejoined so far.
+    pub fn member_recoveries(&self) -> u64 {
+        self.fault_tolerance.as_ref().map_or(0, |ft| ft.recoveries)
+    }
+
+    /// Module-periods spent in safe mode (uniform split over live
+    /// members) because telemetry fell below quorum or a member died with
+    /// a retrain in flight.
+    pub fn safe_mode_periods(&self) -> u64 {
+        self.fault_tolerance
+            .as_ref()
+            .map_or(0, |ft| ft.safe_mode_periods)
     }
 
     /// Close the loop in-hierarchy: from now on the policy derives
@@ -456,6 +635,24 @@ impl HierarchicalPolicy {
             return;
         };
         for (m, maps) in output.maps {
+            // A member that died between the trigger and this swap fed
+            // the rebuild telemetry poisoned by its fault: keep its
+            // installed pre-fault map and install fresh maps only for the
+            // surviving membership.
+            let maps = match self.fault_tolerance.as_ref() {
+                Some(ft) => {
+                    let keep_old: Vec<bool> = self.members[m].iter().map(|&i| ft.dead[i]).collect();
+                    if keep_old.iter().any(|&k| k) {
+                        let old: Vec<Arc<AbstractionMap>> = (0..keep_old.len())
+                            .map(|pos| Arc::clone(self.l1s[m].map_arc(pos)))
+                            .collect();
+                        filter_rebuilt_maps(maps, &keep_old, &old)
+                    } else {
+                        maps
+                    }
+                }
+                None => maps,
+            };
             self.l1s[m].install_maps(maps);
         }
         if let Some(l2) = self.l2.as_mut() {
@@ -602,6 +799,61 @@ impl ClusterPolicy for HierarchicalPolicy {
     fn decide(&mut self, obs: &Observations) -> Vec<Action> {
         let mut actions = Vec::new();
 
+        // --- Watchdog: track membership through churn (fault tolerance
+        // only). A window is suspect when its telemetry was lost or the
+        // machine is found `Off` while the last decision wanted it on (a
+        // crash, not a shed). `suspect_after` consecutive suspect windows
+        // declare the member dead; a dead member rejoins when it is seen
+        // powered with healthy telemetry again, and a dead-and-silent
+        // `Off` machine is optimistically re-probed after a long healthy
+        // streak (a truly crashed machine refuses the power-on and is
+        // re-declared dead one `suspect_after` later, at no request loss
+        // because boot rerouting never assigns weight to an `Off`
+        // machine).
+        if let Some(ft) = self.fault_tolerance.as_mut() {
+            for comp in &obs.computers {
+                let i = comp.index;
+                if comp.telemetry_ok {
+                    ft.healthy[i] += 1;
+                } else {
+                    ft.healthy[i] = 0;
+                }
+                if !ft.dead[i] {
+                    let suspect = !comp.telemetry_ok
+                        || (ft.wanted_on[i] && matches!(comp.state, PowerState::Off));
+                    if suspect {
+                        ft.missed[i] += 1;
+                        if ft.missed[i] >= ft.cfg.suspect_after {
+                            ft.dead[i] = true;
+                            ft.wanted_on[i] = false;
+                            ft.membership_changed = true;
+                            ft.deaths += 1;
+                        }
+                    } else {
+                        ft.missed[i] = 0;
+                    }
+                } else {
+                    let rejoined = comp.telemetry_ok && !matches!(comp.state, PowerState::Off);
+                    let probe = comp.telemetry_ok
+                        && matches!(comp.state, PowerState::Off)
+                        && ft.healthy[i] >= 2 * ft.cfg.suspect_after;
+                    if rejoined {
+                        ft.dead[i] = false;
+                        ft.missed[i] = 0;
+                        ft.membership_changed = true;
+                        ft.recoveries += 1;
+                    } else if probe {
+                        // Silent clear: the next L1 decision may recruit
+                        // it. Not a rejoin yet — no hysteresis relaxation.
+                        ft.dead[i] = false;
+                        ft.missed[i] = 0;
+                        ft.healthy[i] = 0;
+                    }
+                }
+            }
+        }
+        let ft_on = self.fault_tolerance.is_some();
+
         // Accumulate windows and feed the per-computer forecasters —
         // including the delivery-side evidence for the drift-aware scale
         // estimators (inert unless the scenario enables them): a window
@@ -610,7 +862,27 @@ impl ClusterPolicy for HierarchicalPolicy {
         // under which completions/T measures service rate rather than
         // throughput.
         for comp in &obs.computers {
-            self.l0s[comp.index].observe(comp.window.arrivals, comp.window.mean_demand());
+            if ft_on && !comp.telemetry_ok {
+                // Blackout window: the blanks are absence of evidence,
+                // not evidence of silence. Estimators and drift detectors
+                // hold their state through the gap. (Fault-blind
+                // controllers ingest the blanks at face value.)
+                continue;
+            }
+            let mut demand = comp.window.mean_demand();
+            if ft_on {
+                // Plausibility gate for noisy sensors: a window whose
+                // mean demand lands far outside the member's running ĉ
+                // is a corrupted reading, not evidence — drop the sample
+                // and let the estimator coast. (Genuine drift moves ĉ by
+                // percent per window, never by 2.5x in one.)
+                if let (Some(c), reference) = (demand, self.l0s[comp.index].c_estimate()) {
+                    if reference > 0.0 && !(0.4..=2.5).contains(&(c / reference)) {
+                        demand = None;
+                    }
+                }
+            }
+            self.l0s[comp.index].observe(comp.window.arrivals, demand);
             let busy =
                 comp.queue > 0 && matches!(comp.state, PowerState::On | PowerState::Draining);
             self.l0s[comp.index].observe_service(
@@ -618,7 +890,7 @@ impl ClusterPolicy for HierarchicalPolicy {
                 busy,
                 comp.frequency_index,
             );
-            if let Some(c) = comp.window.mean_demand() {
+            if let Some(c) = demand {
                 self.member_demand_sum[comp.index] += c;
                 self.member_demand_n[comp.index] += 1;
             }
@@ -648,6 +920,35 @@ impl ClusterPolicy for HierarchicalPolicy {
         if let Some(cl) = self.closed_loop.as_mut() {
             for comp in &obs.computers {
                 let cfg = self.l0s[comp.index].config();
+                // Router-side drop charge, folded *before* the telemetry
+                // gate: the dispatcher's failed sends are valid telemetry
+                // even when the target machine is dark. A refused request
+                // never completes — charge each one a timeout's worth of
+                // slack, normalized per window second like the power
+                // term. Without this charge, routing traffic into a dead
+                // machine *improves* the realized books (the drops
+                // vanish from the accounting and the relieved survivors
+                // look beautifully modeled) — exactly the failure mode a
+                // fault-blind controller must not get credit for. Both
+                // arms pay it: the watchdog'd hierarchy for its honest
+                // detection latency, the blind one for as long as it
+                // keeps shoveling work into the void.
+                if comp.rejected > 0 {
+                    let drop_slack =
+                        comp.rejected as f64 * DROP_TIMEOUT_FACTOR * cfg.response_target
+                            / cfg.period;
+                    let charge = cfg.q_weight * drop_slack;
+                    cl.cost_acc[comp.index] += charge;
+                    cl.module_cost_acc[comp.module] += charge;
+                    cl.refused[comp.index] += comp.rejected;
+                }
+                if ft_on && !comp.telemetry_ok {
+                    // A window with a telemetry gap cannot anchor a valid
+                    // realized outcome: poison this member's running L1
+                    // window rather than folding blanks into it.
+                    cl.served[comp.index] = false;
+                    continue;
+                }
                 let slack = if comp.queue > 0 && comp.window.completions > 0 {
                     let r_implied =
                         (1.0 + comp.queue as f64) * cfg.period / comp.window.completions as f64;
@@ -699,15 +1000,29 @@ impl ClusterPolicy for HierarchicalPolicy {
                     cl.module_arrivals.iter_mut().for_each(|a| *a = 0);
                 }
 
+                // Membership changed since the last L2 decision: the
+                // previous split is stale evidence, so enumerate the full
+                // simplex once and skip the switching margin.
+                if let Some(ft) = self.fault_tolerance.as_mut() {
+                    if std::mem::take(&mut ft.membership_changed) {
+                        l2.relax_hysteresis_once();
+                    }
+                }
+                let dead = self.fault_tolerance.as_ref().map(|ft| &ft.dead);
                 let states: Vec<ModuleState> = (0..self.members.len())
                     .map(|m| {
                         let qs: f64 = self.members[m]
                             .iter()
                             .map(|&i| obs.computers[i].queue as f64)
                             .sum();
+                        // Dead members are not planned capacity, whatever
+                        // their plant state claims.
                         let active = self.members[m]
                             .iter()
-                            .filter(|&&i| !matches!(obs.computers[i].state, PowerState::Off))
+                            .filter(|&&i| {
+                                !matches!(obs.computers[i].state, PowerState::Off)
+                                    && !dead.is_some_and(|d| d[i])
+                            })
                             .count();
                         ModuleState {
                             c_factor: self.l1s[m].module_c_estimate() / self.module_c_priors[m],
@@ -798,7 +1113,18 @@ impl ClusterPolicy for HierarchicalPolicy {
                         let period = self.l1_every as f64 * self.l0s[0].config().period;
                         let cs = self.l1s[m].c_estimates();
                         for (pos, &i) in self.members[m].iter().enumerate() {
-                            if !cl.served[i] {
+                            // A period in which the dispatcher's sends to
+                            // this member failed is always measured (the
+                            // charged cost of the thrown-away work,
+                            // against whatever the maps predicted), even
+                            // when the member itself never validly
+                            // served — but it is never *learned from*:
+                            // failed sends are not service observations,
+                            // and absorbing the charge into the maps
+                            // would let a controller predict its own
+                            // dropped traffic and call that tracking.
+                            let refused = cl.refused[i] > 0;
+                            if !cl.served[i] && !refused {
                                 continue;
                             }
                             let lambda = cl.window_acc[i].arrivals as f64 / period;
@@ -811,6 +1137,9 @@ impl ClusterPolicy for HierarchicalPolicy {
                                 self.l1s[m].map(pos).query(lambda, cs[pos], cl.q0[i]).cost;
                             cl.err_sum += (predicted - entry.cost).abs();
                             cl.err_n += 1;
+                            if refused {
+                                continue;
+                            }
                             match cl.mode {
                                 ClosedLoopMode::Learn => {
                                     self.l1s[m].record_outcome(pos, lambda, cl.q0[i], entry);
@@ -844,7 +1173,98 @@ impl ClusterPolicy for HierarchicalPolicy {
                     .iter()
                     .map(|&i| !matches!(obs.computers[i].state, PowerState::Off))
                     .collect();
-                let decision = self.l1s[m].decide(&queues, &active);
+                let dead_pos: Vec<bool> = match self.fault_tolerance.as_ref() {
+                    Some(ft) => self.members[m].iter().map(|&i| ft.dead[i]).collect(),
+                    None => vec![false; self.members[m].len()],
+                };
+                let live_count = dead_pos.iter().filter(|&&d| !d).count();
+                // Safe mode: when too few live members deliver healthy
+                // telemetry for the learned models to be trusted, or a
+                // member died with a rebuild in flight, stop optimizing
+                // and hold the module in its analytically safe posture —
+                // every live member on, load split uniformly over those
+                // actually serving. The L0s' analytic queue models keep
+                // picking frequencies underneath.
+                let safe_mode = ft_on && live_count > 0 && {
+                    let healthy = self.members[m]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(pos, &i)| !dead_pos[pos] && obs.computers[i].telemetry_ok)
+                        .count();
+                    let quorum = self
+                        .fault_tolerance
+                        .as_ref()
+                        .expect("ft_on")
+                        .cfg
+                        .telemetry_quorum;
+                    let any_dead = dead_pos.iter().any(|&d| d);
+                    ((healthy as f64) < quorum * live_count as f64)
+                        || (any_dead && self.retrain.as_ref().is_some_and(|r| r.pending()))
+                };
+                let decision = if live_count == 0 {
+                    // Every member is dead: nothing to decide, route and
+                    // order nothing, wait for a rejoin.
+                    L1Decision {
+                        alpha: vec![false; dead_pos.len()],
+                        gamma: vec![0.0; dead_pos.len()],
+                        expected_cost: f64::INFINITY,
+                        states_evaluated: 0,
+                    }
+                } else if safe_mode {
+                    self.fault_tolerance
+                        .as_mut()
+                        .expect("ft_on")
+                        .safe_mode_periods += 1;
+                    let alpha: Vec<bool> = dead_pos.iter().map(|&d| !d).collect();
+                    let serving: Vec<usize> = (0..alpha.len())
+                        .filter(|&pos| {
+                            !dead_pos[pos]
+                                && matches!(
+                                    obs.computers[self.members[m][pos]].state,
+                                    PowerState::On
+                                )
+                        })
+                        .collect();
+                    let share_set: Vec<usize> = if serving.is_empty() {
+                        (0..alpha.len()).filter(|&pos| !dead_pos[pos]).collect()
+                    } else {
+                        serving
+                    };
+                    let mut gamma = vec![0.0; alpha.len()];
+                    for &pos in &share_set {
+                        gamma[pos] = 1.0 / share_set.len() as f64;
+                    }
+                    L1Decision {
+                        alpha,
+                        gamma,
+                        expected_cost: f64::INFINITY,
+                        states_evaluated: 0,
+                    }
+                } else if ft_on {
+                    self.l1s[m].decide_excluding(&queues, &active, &dead_pos)
+                } else {
+                    self.l1s[m].decide(&queues, &active)
+                };
+                // Membership invariants: a dead member gets no load and
+                // the live shares form a full split.
+                debug_assert!(
+                    decision
+                        .gamma
+                        .iter()
+                        .zip(&dead_pos)
+                        .all(|(&g, &d)| !d || g == 0.0),
+                    "γ routed to a dead member"
+                );
+                debug_assert!(
+                    live_count == 0 || (decision.gamma.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+                    "live shares must sum to 1, got {:?}",
+                    decision.gamma
+                );
+                if let Some(ft) = self.fault_tolerance.as_mut() {
+                    for (pos, &i) in self.members[m].iter().enumerate() {
+                        ft.wanted_on[i] = !dead_pos[pos] && decision.alpha[pos];
+                    }
+                }
 
                 // Closed loop: anchor the coming window to the operating
                 // point this decision was taken at. Only members that can
@@ -856,6 +1276,7 @@ impl ClusterPolicy for HierarchicalPolicy {
                         cl.q0[i] = obs.computers[i].queue as f64;
                         cl.cost_acc[i] = 0.0;
                         cl.window_acc[i] = WindowStats::default();
+                        cl.refused[i] = 0;
                         cl.served[i] = decision.alpha[pos]
                             && matches!(
                                 obs.computers[i].state,
@@ -865,6 +1286,13 @@ impl ClusterPolicy for HierarchicalPolicy {
                 }
 
                 for (pos, &i) in self.members[m].iter().enumerate() {
+                    if dead_pos[pos] {
+                        // No directives for a dead member: a crashed
+                        // machine ignores them, and a blackout-dead one
+                        // must not be drained just because its telemetry
+                        // went dark — it rejoins untouched.
+                        continue;
+                    }
                     let draining = matches!(obs.computers[i].state, PowerState::Draining);
                     if decision.alpha[pos] && (!active[pos] || draining) {
                         // PowerOn also recovers a draining machine to On —
@@ -917,6 +1345,10 @@ impl ClusterPolicy for HierarchicalPolicy {
                         }
                     }
                 }
+                debug_assert!(
+                    routed.iter().zip(&dead_pos).all(|(&g, &d)| !d || g == 0.0),
+                    "routed weight on a dead member"
+                );
                 actions.push(Action::SetComputerWeights(m, routed));
                 self.overhead[1].record(started.elapsed());
             }
@@ -934,6 +1366,13 @@ impl ClusterPolicy for HierarchicalPolicy {
         for comp in &obs.computers {
             if matches!(comp.state, PowerState::Off) {
                 continue;
+            }
+            if let Some(ft) = self.fault_tolerance.as_ref() {
+                // A dead member takes no directives; a blacked-out one
+                // reported a blank queue that must not drive its DVFS.
+                if ft.dead[comp.index] || !comp.telemetry_ok {
+                    continue;
+                }
             }
             let started = Instant::now();
             let decision = self.l0s[comp.index]
@@ -976,6 +1415,8 @@ mod tests {
                 },
                 state: PowerState::On,
                 frequency_index: 0,
+                telemetry_ok: true,
+                rejected: 0,
             })
             .collect();
         Observations {
@@ -1046,5 +1487,135 @@ mod tests {
         assert_eq!(overhead[0].decisions, 16, "2 computers x 8 ticks of L0");
         assert!(policy.path_overhead() > Duration::ZERO);
         assert_eq!(policy.name(), "hierarchical-llc");
+    }
+
+    fn blackout(obs: &mut Observations, i: usize) {
+        obs.computers[i].telemetry_ok = false;
+        obs.computers[i].window = WindowStats::default();
+        obs.computers[i].queue = 0;
+    }
+
+    #[test]
+    fn watchdog_declares_blacked_out_member_dead_then_recovers_it() {
+        let scenario = single_module(2).with_coarse_learning();
+        let mut policy = HierarchicalPolicy::build(&scenario);
+        policy.enable_fault_tolerance(FaultToleranceConfig::default());
+        let _ = policy.decide(&obs_for(&policy, 0, 3000));
+        // Three consecutive dark windows: declared dead at the third.
+        for t in 1..4 {
+            let mut o = obs_for(&policy, t, 3000);
+            blackout(&mut o, 1);
+            let _ = policy.decide(&o);
+        }
+        assert!(policy.member_dead(1), "3 dark windows must declare death");
+        assert_eq!(policy.member_deaths(), 1);
+
+        // L1 tick while dead: no load and no directives for member 1 —
+        // a blackout-dead machine is still serving and must not be
+        // drained just because its telemetry went dark.
+        let mut o = obs_for(&policy, 4, 3000);
+        blackout(&mut o, 1);
+        let actions = policy.decide(&o);
+        for a in &actions {
+            match a {
+                Action::PowerOn(i) | Action::PowerOff(i) | Action::SetFrequency(i, _) => {
+                    assert_ne!(*i, 1, "directive {a:?} to a dead member");
+                }
+                Action::SetComputerWeights(_, w) => {
+                    assert_eq!(w[1], 0.0, "load routed to a dead member");
+                    assert!((w[0] - 1.0).abs() < 1e-9, "survivor carries the module");
+                }
+                Action::SetModuleWeights(_) => {}
+            }
+        }
+
+        // Telemetry returns (machine was serving all along): rejoin.
+        let _ = policy.decide(&obs_for(&policy, 5, 3000));
+        assert!(!policy.member_dead(1), "healthy powered member rejoins");
+        assert_eq!(policy.member_recoveries(), 1);
+    }
+
+    #[test]
+    fn watchdog_declares_crashed_member_dead() {
+        let scenario = single_module(2).with_coarse_learning();
+        let mut policy = HierarchicalPolicy::build(&scenario);
+        policy.enable_fault_tolerance(FaultToleranceConfig::default());
+        // Heavy load so the L1 wants both machines on.
+        for t in 0..9 {
+            let _ = policy.decide(&obs_for(&policy, t, 3000));
+        }
+        // Crash: found Off while wanted on, truthful telemetry.
+        for t in 9..12 {
+            let mut o = obs_for(&policy, t, 3000);
+            o.computers[1].state = PowerState::Off;
+            o.computers[1].window = WindowStats::default();
+            o.computers[1].queue = 0;
+            let _ = policy.decide(&o);
+        }
+        assert!(
+            policy.member_dead(1),
+            "a machine found Off while wanted on has crashed"
+        );
+        // Restart (repair + boot): powered again with telemetry → rejoin.
+        let mut o = obs_for(&policy, 12, 3000);
+        o.computers[1].state = PowerState::Booting { ready_at: 480.0 };
+        let _ = policy.decide(&o);
+        assert!(!policy.member_dead(1), "restarted member rejoins");
+        assert_eq!(policy.member_recoveries(), 1);
+    }
+
+    #[test]
+    fn telemetry_quorum_loss_falls_back_to_safe_mode() {
+        let scenario = single_module(4).with_coarse_learning();
+        let mut policy = HierarchicalPolicy::build(&scenario);
+        policy.enable_fault_tolerance(FaultToleranceConfig {
+            suspect_after: 10, // stay in the suspect (pre-death) regime
+            ..FaultToleranceConfig::default()
+        });
+        let _ = policy.decide(&obs_for(&policy, 0, 3000));
+        // 3 of 4 members dark: 1/4 healthy < 0.5 quorum at the L1 tick.
+        for t in 1..5 {
+            let mut o = obs_for(&policy, t, 3000);
+            for i in 1..4 {
+                blackout(&mut o, i);
+            }
+            let actions = policy.decide(&o);
+            if t == 4 {
+                assert!(policy.safe_mode_periods() >= 1, "quorum loss → safe mode");
+                let weights = actions.iter().find_map(|a| match a {
+                    Action::SetComputerWeights(_, w) => Some(w.clone()),
+                    _ => None,
+                });
+                let w = weights.expect("L1 tick routes");
+                for &g in &w {
+                    assert!(
+                        (g - 0.25).abs() < 1e-9,
+                        "safe mode splits uniformly over live serving members: {w:?}"
+                    );
+                }
+            }
+        }
+        assert_eq!(policy.member_deaths(), 0, "nobody declared dead yet");
+    }
+
+    #[test]
+    fn filter_rebuilt_maps_keeps_installed_map_for_dead_members() {
+        let scenario = single_module(2).with_coarse_learning();
+        let policy = HierarchicalPolicy::build(&scenario);
+        let old: Vec<Arc<AbstractionMap>> = (0..2)
+            .map(|pos| Arc::clone(policy.l1(0).map_arc(pos)))
+            .collect();
+        let fresh: Vec<Arc<AbstractionMap>> = old.iter().map(|m| Arc::new((**m).clone())).collect();
+        let fresh_ptrs: Vec<_> = fresh.iter().map(Arc::as_ptr).collect();
+        let out = filter_rebuilt_maps(fresh, &[false, true], &old);
+        assert_eq!(
+            out[0].as_ref() as *const _,
+            fresh_ptrs[0],
+            "live: fresh map"
+        );
+        assert!(
+            Arc::ptr_eq(&out[1], &old[1]),
+            "dead: keeps the installed pre-fault map"
+        );
     }
 }

@@ -1007,9 +1007,33 @@ impl L1Controller {
     ///
     /// Panics if slice lengths disagree with the member count.
     pub fn decide(&mut self, queues: &[usize], active: &[bool]) -> L1Decision {
+        let dead = vec![false; self.members.len()];
+        self.decide_excluding(queues, active, &dead)
+    }
+
+    /// [`decide`](Self::decide) over the surviving membership only: members
+    /// flagged `dead` are forced off in every candidate, excluded from the
+    /// γ simplex, charged no drain cost (their queues are unreachable), and
+    /// never chosen as the power-budget fallback. `min_active` is clamped
+    /// to the live count so churn cannot make the constraint infeasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with the member count or every
+    /// member is dead (the caller's safe mode must handle that case).
+    pub fn decide_excluding(
+        &mut self,
+        queues: &[usize],
+        active: &[bool],
+        dead: &[bool],
+    ) -> L1Decision {
         assert_eq!(queues.len(), self.members.len(), "queue per member");
         assert_eq!(active.len(), self.members.len(), "state per member");
+        assert_eq!(dead.len(), self.members.len(), "liveness per member");
         let m = self.members.len();
+        let live_count = dead.iter().filter(|&&d| !d).count();
+        assert!(live_count > 0, "at least one member must be live");
+        let min_active = self.config.min_active.min(live_count);
 
         let lambda_hat = match self.pending_feed_forward.take() {
             // The L2 just re-split: plan for the assigned share now, not
@@ -1056,26 +1080,28 @@ impl L1Controller {
         // Candidate α vectors — the "limited neighborhood" of the current
         // configuration: keep, single toggles, pairs of switch-ons (so a
         // sharp load step can recruit two machines in one period), and
-        // everything-on as the escape hatch for deep overload.
-        let mut candidates: Vec<Vec<bool>> = vec![active.to_vec()];
-        for j in 0..m {
-            let mut alt = active.to_vec();
+        // everything-on as the escape hatch for deep overload. Dead
+        // members are forced off in the base state and never toggled.
+        let base: Vec<bool> = (0..m).map(|j| active[j] && !dead[j]).collect();
+        let mut candidates: Vec<Vec<bool>> = vec![base.clone()];
+        for j in (0..m).filter(|&j| !dead[j]) {
+            let mut alt = base.clone();
             alt[j] = !alt[j];
-            if alt.iter().filter(|&&a| a).count() >= self.config.min_active {
+            if alt.iter().filter(|&&a| a).count() >= min_active {
                 candidates.push(alt);
             }
         }
-        let off: Vec<usize> = (0..m).filter(|&j| !active[j]).collect();
+        let off: Vec<usize> = (0..m).filter(|&j| !base[j] && !dead[j]).collect();
         for (i, &a) in off.iter().enumerate() {
             for &b in &off[i + 1..] {
-                let mut alt = active.to_vec();
+                let mut alt = base.clone();
                 alt[a] = true;
                 alt[b] = true;
                 candidates.push(alt);
             }
         }
         if off.len() > 2 {
-            candidates.push(vec![true; m]);
+            candidates.push((0..m).map(|j| !dead[j]).collect());
         }
 
         let mut best: Option<(f64, Vec<bool>, Vec<f64>)> = None;
@@ -1091,7 +1117,7 @@ impl L1Controller {
             // finishing the queue under zero arrivals. Without this term,
             // shedding the most backlogged machine looks free.
             let drain_cost: f64 = (0..m)
-                .filter(|&j| !alpha[j] && queues[j] > 0)
+                .filter(|&j| !alpha[j] && !dead[j] && queues[j] > 0)
                 .map(|j| drain_costs[j])
                 .sum();
 
@@ -1175,10 +1201,11 @@ impl L1Controller {
         // back to the lowest-power single machine rather than panicking.
         let (expected_cost, alpha, gamma) = best.unwrap_or_else(|| {
             let cheapest = (0..m)
+                .filter(|&j| !dead[j])
                 .min_by(|&a, &b| {
                     (self.members[a].speed / cs[a]).total_cmp(&(self.members[b].speed / cs[b]))
                 })
-                .expect("module is non-empty");
+                .expect("at least one live member");
             let mut alpha = vec![false; m];
             alpha[cheapest] = true;
             let mut gamma = vec![0.0; m];
@@ -1321,6 +1348,60 @@ mod tests {
             active.iter().filter(|&&a| a).count() >= 1,
             "at least one computer stays on"
         );
+    }
+
+    #[test]
+    fn decide_excluding_never_routes_to_dead_members() {
+        let mut l1 = build_module(4);
+        // Heavy load: without the exclusion every machine would be wanted.
+        for _ in 0..6 {
+            l1.observe(180 * 120, &[Some(0.0175); 4].map(|d| d));
+        }
+        let dead = vec![false, true, false, false];
+        let mut active = vec![true, true, true, true];
+        for _ in 0..3 {
+            let d = l1.decide_excluding(&[0; 4], &active, &dead);
+            assert!(!d.alpha[1], "dead member must never be switched on");
+            assert_eq!(d.gamma[1], 0.0, "dead member must get no load");
+            let total: f64 = d.gamma.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "γ sums to 1, got {total}");
+            active = d.alpha.clone();
+        }
+        assert!(
+            active.iter().filter(|&&a| a).count() >= 2,
+            "survivors must carry the load"
+        );
+    }
+
+    #[test]
+    fn decide_excluding_clamps_min_active_to_live_count() {
+        let profiles = FrequencyProfile::module_set();
+        let members: Vec<MemberSpec> = (0..2).map(|j| member(profiles[j % 4])).collect();
+        let l0 = L0Config::paper_default();
+        let maps: Vec<AbstractionMap> = members
+            .iter()
+            .map(|m| {
+                let c_mid = m.c_prior;
+                AbstractionMap::learn(
+                    &l0,
+                    &m.phis,
+                    (c_mid * 0.6, c_mid * 1.5),
+                    2.0 / (c_mid * 0.6),
+                    150.0,
+                    LearnSpec::coarse(),
+                )
+            })
+            .collect();
+        let config = L1Config {
+            min_active: 2,
+            ..L1Config::paper_default()
+        };
+        let mut l1 = L1Controller::new(config, members, maps);
+        l1.observe(30 * 120, &[Some(0.0175); 2].map(|d| d));
+        // One of two members dead: min_active = 2 would be infeasible.
+        let d = l1.decide_excluding(&[0, 0], &[true, true], &[false, true]);
+        assert!(d.alpha[0] && !d.alpha[1]);
+        assert!((d.gamma[0] - 1.0).abs() < 1e-9);
     }
 
     #[test]

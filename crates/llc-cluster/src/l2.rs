@@ -460,6 +460,10 @@ pub struct L2Controller {
     /// Online learning state (knobs + pending outcomes), present once
     /// [`L2Controller::enable_online`] has been called.
     online: Option<OnlineL2>,
+    /// One-shot hysteresis relaxation (set on cluster membership change):
+    /// the next decision enumerates the full simplex and skips the
+    /// switching margin, then the flag clears itself.
+    relax_once: bool,
 }
 
 /// Online-learning state of an [`L2Controller`]. Each pending outcome
@@ -498,7 +502,16 @@ impl L2Controller {
             total_states: 0,
             decisions: 0,
             online: None,
+            relax_once: false,
         }
+    }
+
+    /// Relax hysteresis for the next decision only: membership just
+    /// changed (a machine died or rejoined), so the previous split is
+    /// stale evidence — enumerate the full simplex and let the winner
+    /// through without the switching margin.
+    pub fn relax_hysteresis_once(&mut self) {
+        self.relax_once = true;
     }
 
     /// Number of modules managed.
@@ -737,6 +750,7 @@ impl L2Controller {
     /// Panics if `modules` length differs from the model count.
     pub fn decide(&mut self, modules: &[ModuleState]) -> L2Decision {
         assert_eq!(modules.len(), self.models.len(), "state per module");
+        let relaxed = std::mem::take(&mut self.relax_once);
         let lambda_g = self.lambda_forecast.predict_one().max(0.0);
         self.last_prediction = Some(lambda_g);
 
@@ -746,7 +760,7 @@ impl L2Controller {
         // single-quantum transfers), mirroring the L1's "limited
         // neighborhood of [the current] state".
         let candidates = match (&self.prev_gamma, self.config.max_move_quanta) {
-            (Some(prev), bound) if bound > 0 => {
+            (Some(prev), bound) if bound > 0 && !relaxed => {
                 let mut frontier = vec![prev.clone()];
                 let mut all = vec![prev.clone()];
                 for _ in 0..bound {
@@ -787,7 +801,7 @@ impl L2Controller {
         // switching margin — tree predictions are noisy and a flapping
         // split costs boot dead times downstream.
         let (gamma, cost) = match &self.prev_gamma {
-            Some(prev) => {
+            Some(prev) if !relaxed => {
                 let prev_cost = evaluate(prev);
                 let moved = prev
                     .iter()
@@ -799,7 +813,7 @@ impl L2Controller {
                     (opt.candidate, opt.cost)
                 }
             }
-            None => (opt.candidate, opt.cost),
+            _ => (opt.candidate, opt.cost),
         };
 
         self.total_states += opt.evaluations as u64;
@@ -928,6 +942,40 @@ mod tests {
             "healthy module should get at least as much load: {:?}",
             d.gamma
         );
+    }
+
+    #[test]
+    fn relaxed_hysteresis_enumerates_full_simplex_once() {
+        let model = module_model(2);
+        let models = vec![model.clone(), model];
+        let mut l2 = L2Controller::new(L2Config::paper_default(), models);
+        for _ in 0..5 {
+            l2.observe((100.0 * 120.0) as u64);
+        }
+        let states = vec![
+            ModuleState {
+                c_factor: 1.0,
+                queue_mean: 0.0,
+                active: 2,
+            };
+            2
+        ];
+        let first = l2.decide(&states);
+        assert_eq!(first.states_evaluated, 11, "first decision enumerates");
+        let bounded = l2.decide(&states);
+        assert!(
+            bounded.states_evaluated < 11,
+            "steady state searches the bounded neighborhood, got {}",
+            bounded.states_evaluated
+        );
+        l2.relax_hysteresis_once();
+        let relaxed = l2.decide(&states);
+        assert_eq!(
+            relaxed.states_evaluated, 11,
+            "membership change re-enumerates the full simplex"
+        );
+        let after = l2.decide(&states);
+        assert!(after.states_evaluated < 11, "relaxation is one-shot");
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub use config::{
     cluster_of, module_of_four, paper_cluster_16, paper_cluster_20, single_module, ScenarioConfig,
 };
 pub use experiment::{Experiment, ExperimentLog, ExperimentSummary, TickRecord};
-pub use hierarchy::{ClosedLoopMode, HierarchicalPolicy, LevelOverhead, RealizedOutcome};
+pub use hierarchy::{
+    ClosedLoopMode, FaultToleranceConfig, HierarchicalPolicy, LevelOverhead, RealizedOutcome,
+};
 pub use l0::{L0Config, L0Controller, L0Decision, QueueModel};
 pub use l1::{
     AbstractionMap, GEntry, L1Config, L1Controller, L1Decision, LearnSpec, MapBackend, MemberSpec,

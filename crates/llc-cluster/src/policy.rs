@@ -22,6 +22,24 @@ pub struct ComputerObs {
     pub state: PowerState,
     /// Current frequency index.
     pub frequency_index: usize,
+    /// `false` when this window's telemetry was lost (blackout, or a
+    /// crashed machine gone silent): the window stats and queue reading
+    /// arrive blank and must not be treated as evidence, and `state` /
+    /// `frequency_index` are frozen at the last values the management
+    /// plane saw before the lights went out — crash-stop is
+    /// indistinguishable from a partition, so ground truth is not
+    /// available either.
+    pub telemetry_ok: bool,
+    /// Requests the module dispatcher offered to this computer during
+    /// the window that the computer refused (crashed, or no admissible
+    /// operating state). Measured at the *dispatcher*, not the machine,
+    /// so it remains valid through telemetry blackouts — a router always
+    /// knows its own failed sends. A refused request never completes:
+    /// the closed loop charges it the worst-case slack in the realized
+    /// cost, which is what stops a controller that routes traffic into a
+    /// dead machine from looking *better* (relieved survivors, clean
+    /// models) than one that re-plans around it.
+    pub rejected: u64,
 }
 
 impl ComputerObs {

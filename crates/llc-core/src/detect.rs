@@ -477,5 +477,51 @@ mod tests {
                 "step {step} not detected in time (delay {delay:?})"
             );
         }
+
+        /// Gap immunity: a telemetry blackout shows up here as a run of
+        /// non-finite residuals of any length. None of them may fire,
+        /// count as samples, or poison the running statistics — and a
+        /// genuine mean shift *after* the gap must still be caught
+        /// within the ordinary detection-delay bound (the gap re-arms
+        /// nothing and breaks nothing).
+        #[test]
+        fn gap_streams_rearm_cleanly(
+            seed in 0u64..1000,
+            amplitude in 0.01f64..0.05,
+            step in 0.3f64..1.5,
+            gap_len in 1usize..64,
+        ) {
+            let mut d = DriftDetector::new(DetectorConfig::default());
+            for x in noise(seed, 64, amplitude) {
+                d.observe(x);
+            }
+            let (samples, detections) = (d.samples(), d.detections());
+
+            // The blackout: every flavor of broken residual.
+            for k in 0..gap_len {
+                let bad = match k % 3 {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    _ => f64::NEG_INFINITY,
+                };
+                prop_assert!(!d.observe(bad), "a broken sample fired");
+            }
+            prop_assert_eq!(d.samples(), samples, "gap samples were counted");
+            prop_assert_eq!(d.detections(), detections, "gap fired detections");
+
+            // Post-gap shift still caught on time: the gap left the
+            // statistics armed against the pre-gap regime.
+            let mut delay = None;
+            for (k, x) in noise(seed ^ 0x9a4, 40, amplitude).into_iter().enumerate() {
+                if d.observe(x + step) {
+                    delay = Some(k);
+                    break;
+                }
+            }
+            prop_assert!(
+                delay.is_some_and(|k| k <= 12),
+                "post-gap step {step} not detected in time (delay {delay:?})"
+            );
+        }
     }
 }

@@ -327,5 +327,65 @@ mod tests {
                 prop_assert!(err < 0.03, "ŝ drifted to {:.4} on a nominal plant", e.estimate());
             }
         }
+
+        /// Gap immunity: a telemetry gap of any length and flavor — idle
+        /// windows, blank windows, outright NaN inputs — must hold the
+        /// estimate exactly where it was, keep it finite and inside the
+        /// clamps, and leave the estimator able to track a genuine
+        /// post-gap capacity shift.
+        #[test]
+        fn gap_streams_never_poison_the_estimate(
+            s_before in 0.4f64..1.3,
+            s_after in 0.4f64..1.3,
+            phi in 0.25f64..1.0,
+            c in 0.012f64..0.03,
+            gap_len in 1usize..48,
+            seed in 0u64..500,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6a9);
+            let mut e = ServiceScaleEstimator::new(ScaleEstimatorConfig::enabled());
+            let window = 30.0;
+            for _ in 0..80 {
+                let noise = 0.02 * (rng.gen::<f64>() * 2.0 - 1.0);
+                e.observe_window(busy_completions(s_before, phi, c, window, noise), window, phi, c, true);
+            }
+            let held = e.estimate();
+            prop_assert!(held.is_finite());
+
+            // The blackout: cycle through every way a window goes bad.
+            for k in 0..gap_len {
+                let moved = match k % 4 {
+                    // Idle tail — completions measure throughput, not capacity.
+                    0 => e.observe_window(1000, window, phi, c, false),
+                    // Dark machine — nothing completed at all.
+                    1 => e.observe_window(0, window, phi, c, true),
+                    // Corrupted demand estimate.
+                    2 => e.observe_window(500, window, phi, f64::NAN, true),
+                    // Corrupted clock.
+                    _ => e.observe_window(500, f64::NAN, phi, c, true),
+                };
+                prop_assert_eq!(moved, None, "a gap window counted as evidence");
+                let est = e.estimate();
+                prop_assert!(est.is_finite(), "gap poisoned ŝ to {}", est);
+                prop_assert!(
+                    (e.config().min_scale..=e.config().max_scale).contains(&est),
+                    "gap pushed ŝ out of clamp: {}", est
+                );
+            }
+            prop_assert_eq!(e.estimate(), held, "the gap moved the estimate");
+
+            // Recovery: post-gap evidence still converges on the new truth.
+            for _ in 0..80 {
+                let noise = 0.02 * (rng.gen::<f64>() * 2.0 - 1.0);
+                e.observe_window(busy_completions(s_after, phi, c, window, noise), window, phi, c, true);
+            }
+            let err = (e.estimate() - s_after).abs() / s_after;
+            prop_assert!(
+                err < 0.05,
+                "post-gap ŝ = {:.4}, wanted {:.4} (rel err {:.3})",
+                e.estimate(), s_after, err
+            );
+        }
     }
 }

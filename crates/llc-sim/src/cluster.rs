@@ -145,6 +145,17 @@ pub struct ClusterSim {
     seq: u64,
     next_request_id: u64,
     dropped_total: u64,
+    /// Per-computer wedged-actuator flags: while set, frequency
+    /// directives for that computer are silently ignored (the fault the
+    /// hierarchy must survive, not an error).
+    stuck_actuators: Vec<bool>,
+    /// Per-computer dispatcher-side rejection counters: requests the
+    /// module router offered to a computer that the computer refused
+    /// (crashed machine, or no admissible operating state). Counted at
+    /// the *router*, not the machine, so the management plane can read
+    /// them even when the machine's own telemetry has gone dark — a
+    /// dispatcher always knows its own failed sends.
+    dispatch_rejected: Vec<u64>,
 }
 
 impl ClusterSim {
@@ -183,6 +194,7 @@ impl ClusterSim {
             .map(|m| WeightedRouter::new(m.len()))
             .collect();
         let module_count = modules.len();
+        let computer_count = computers.len();
         ClusterSim {
             now: 0.0,
             computers,
@@ -194,6 +206,8 @@ impl ClusterSim {
             seq: 0,
             next_request_id: 0,
             dropped_total: 0,
+            stuck_actuators: vec![false; computer_count],
+            dispatch_rejected: vec![0; computer_count],
         }
     }
 
@@ -358,11 +372,21 @@ impl ClusterSim {
     }
 
     /// Set computer `i`'s frequency by index into its frequency table.
+    /// A directive to a [wedged actuator](ClusterSim::set_actuator_stuck)
+    /// is silently ignored — exactly the fault a controller experiences
+    /// when a DVFS governor stops responding.
     ///
     /// # Panics
     ///
     /// Panics if `i` or the index is out of range.
     pub fn set_frequency(&mut self, i: usize, index: usize) {
+        if self.stuck_actuators[i] {
+            assert!(
+                index < self.computers[i].frequencies().len(),
+                "frequency index out of range"
+            );
+            return;
+        }
         let now = self.now;
         let new_completion = self.computers[i].set_frequency_index(index, now);
         if let Some(t) = new_completion {
@@ -401,6 +425,110 @@ impl ClusterSim {
         self.computers[i].service_scale()
     }
 
+    /// Module that computer `i` belongs to.
+    fn module_of(&self, i: usize) -> usize {
+        self.modules
+            .iter()
+            .position(|m| m.contains(&i))
+            .expect("every computer belongs to a module")
+    }
+
+    /// Crash computer `i` at the current time: all queued and in-service
+    /// work is ripped out instantly, the machine drops straight to `Off`
+    /// and becomes unbootable until [`ClusterSim::restart`], and its
+    /// pending departure/boot events are invalidated. With
+    /// `requeue = false` the lost requests count as drops; with
+    /// `requeue = true` each one is re-dispatched through the module's
+    /// router at the crash instant (original arrival times preserved, so
+    /// their eventual response times include the detour) — requests the
+    /// router cannot place still drop.
+    ///
+    /// Returns the number of requests that were in the machine's system
+    /// at the crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn crash(&mut self, i: usize, requeue: bool) -> usize {
+        let now = self.now;
+        let lost = self.computers[i].fail(now);
+        self.computers[i].bump_epoch();
+        let count = lost.len();
+        let m = self.module_of(i);
+        if requeue {
+            for request in lost {
+                self.redispatch_in_module(m, request);
+            }
+        } else {
+            self.module_stats[m].dropped += count as u64;
+            self.dropped_total += count as u64;
+        }
+        count
+    }
+
+    /// Re-offer one crashed-out request inside module `m` at the current
+    /// time. The module-level arrival was already counted when the
+    /// request first entered the module, so only drops are re-counted.
+    fn redispatch_in_module(&mut self, m: usize, request: Request) {
+        let Some(local) = self.module_routers[m].route() else {
+            self.module_stats[m].dropped += 1;
+            self.dropped_total += 1;
+            return;
+        };
+        let comp = self.modules[m][local];
+        match self.computers[comp].offer(request, self.now) {
+            Admission::Started => {
+                let t = self.computers[comp]
+                    .completion_time()
+                    .expect("started implies serving");
+                let epoch = self.computers[comp].bump_epoch();
+                self.push_event(t, EventKind::Departure { comp, epoch });
+            }
+            Admission::Queued => {}
+            Admission::Rejected => {
+                self.module_stats[m].dropped += 1;
+                self.dropped_total += 1;
+                self.dispatch_rejected[comp] += 1;
+            }
+        }
+    }
+
+    /// Restart a crashed computer: clears the failed mark and issues a
+    /// power-on order, so the machine comes back through the normal
+    /// Off→Booting boot dead time. No-op if `i` never crashed and is
+    /// already active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn restart(&mut self, i: usize) {
+        let now = self.now;
+        self.computers[i].repair(now);
+        self.power_on(i);
+    }
+
+    /// Wedge (`true`) or free (`false`) computer `i`'s frequency
+    /// actuator. While wedged, [`ClusterSim::set_frequency`] directives
+    /// are silently ignored and the machine keeps serving at whatever
+    /// operating point it was last left at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_actuator_stuck(&mut self, i: usize, stuck: bool) {
+        assert!(i < self.computers.len(), "no computer with index {i}");
+        self.stuck_actuators[i] = stuck;
+    }
+
+    /// `true` while computer `i`'s frequency actuator is wedged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn actuator_stuck(&self, i: usize) -> bool {
+        self.stuck_actuators[i]
+    }
+
     /// Drain per-computer window statistics (resetting them), in global
     /// computer order. Each window carries the energy drawn since the
     /// previous drain (integrated up to the current simulation time).
@@ -415,6 +543,20 @@ impl ClusterSim {
     /// Drain per-module arrival statistics (module-level routing counts).
     pub fn drain_module_stats(&mut self) -> Vec<WindowStats> {
         self.module_stats.iter_mut().map(|s| s.drain()).collect()
+    }
+
+    /// Drain the per-computer dispatcher-side rejection counters
+    /// (resetting them), in global computer order: how many requests the
+    /// module router offered to each computer since the previous drain
+    /// that the computer refused. Unlike [`ClusterSim::drain_computer_stats`]
+    /// this is *router-side* telemetry — it stays observable when a
+    /// machine crashes or its sensors black out, because the dispatcher
+    /// measures its own failed sends.
+    pub fn drain_dispatch_rejections(&mut self) -> Vec<u64> {
+        self.dispatch_rejected
+            .iter_mut()
+            .map(std::mem::take)
+            .collect()
     }
 
     /// Advance the event loop to absolute time `t`.
@@ -481,6 +623,7 @@ impl ClusterSim {
             Admission::Rejected => {
                 self.module_stats[m].dropped += 1;
                 self.dropped_total += 1;
+                self.dispatch_rejected[comp] += 1;
             }
         }
     }
@@ -605,6 +748,37 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_rejections_attributed_to_crashed_target() {
+        let comp = || ComputerConfig::new(vec![1.0e9], PowerModel::paper_default(), 0.0);
+        let cfg = ClusterConfig {
+            modules: vec![vec![comp(), comp()]],
+        };
+        let mut sim = ClusterSim::new(cfg);
+        sim.power_on(0);
+        sim.power_on(1);
+        sim.set_module_weights(&[1.0]).unwrap();
+        sim.set_computer_weights(0, &[0.5, 0.5]).unwrap();
+        sim.run_until(1.0).unwrap();
+        sim.crash(1, false);
+        // The router still holds 50/50 weights: every other request is
+        // offered to the dead machine and refused at the dispatcher.
+        for k in 0..10 {
+            sim.schedule_arrival(1.1 + 0.01 * f64::from(k), 0.001)
+                .unwrap();
+        }
+        sim.run_until(2.0).unwrap();
+        let rej = sim.drain_dispatch_rejections();
+        assert_eq!(rej[0], 0, "live machine refused nothing");
+        assert_eq!(
+            rej[1], 5,
+            "dead target's failed sends counted at the router"
+        );
+        assert_eq!(sim.dropped(), 5);
+        // Draining resets.
+        assert_eq!(sim.drain_dispatch_rejections(), vec![0, 0]);
+    }
+
+    #[test]
     fn frequency_change_mid_service_reschedules_departure() {
         let mut sim = one_computer_cluster();
         sim.power_on(0);
@@ -725,6 +899,86 @@ mod tests {
         // Responses: 1, 2, 3 seconds.
         assert!((stats[0].response_sum - 6.0).abs() < 1e-9);
         assert_eq!(stats[0].mean_response(), Some(2.0));
+    }
+
+    #[test]
+    fn crash_drops_queued_work_and_resists_power_on() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.run_until(120.0).unwrap();
+        for _ in 0..3 {
+            sim.schedule_arrival(120.0, 1.0).unwrap();
+        }
+        sim.run_until(120.5).unwrap();
+        let in_system = sim.crash(0, false);
+        assert_eq!(in_system, 3);
+        assert_eq!(sim.dropped(), 3, "lost work counts as drops");
+        assert_eq!(sim.computer(0).state(), PowerState::Off);
+        assert!(sim.computer(0).is_failed());
+        // The stale departure for the in-service request must not fire.
+        sim.power_on(0); // refused: still failed
+        sim.run_until(400.0).unwrap();
+        assert_eq!(sim.computer(0).state(), PowerState::Off);
+        let stats = sim.drain_computer_stats();
+        assert_eq!(stats[0].completions, 0, "a crash completes nothing");
+        // Restart boots through the normal dead time.
+        sim.restart(0);
+        assert!(matches!(
+            sim.computer(0).state(),
+            PowerState::Booting { .. }
+        ));
+        sim.run_until(521.0).unwrap();
+        assert_eq!(sim.computer(0).state(), PowerState::On);
+    }
+
+    #[test]
+    fn crash_with_requeue_moves_work_to_module_peer() {
+        let mut sim = two_module_cluster();
+        for i in 0..4 {
+            sim.power_on(i);
+        }
+        sim.set_module_weights(&[1.0, 0.0]).unwrap();
+        sim.set_computer_weights(0, &[1.0, 0.0]).unwrap();
+        sim.run_until(1.0).unwrap();
+        for _ in 0..4 {
+            sim.schedule_arrival(1.0, 1.0).unwrap();
+        }
+        sim.run_until(1.5).unwrap();
+        assert_eq!(sim.computer(0).queue_length(), 4);
+        // Shift the module weights to the healthy peer, then crash with
+        // requeue: the ripped-out work lands on computer 1 and completes.
+        sim.set_computer_weights(0, &[0.0, 1.0]).unwrap();
+        let moved = sim.crash(0, true);
+        assert_eq!(moved, 4);
+        assert_eq!(sim.dropped(), 0, "requeued, not dropped");
+        assert_eq!(sim.computer(1).queue_length(), 4);
+        sim.run_until(10.0).unwrap();
+        let stats = sim.drain_computer_stats();
+        assert_eq!(stats[1].completions, 4);
+        // Responses include the detour: arrivals at t=1, service on the
+        // peer starts only after the crash at t=1.5.
+        assert!(stats[1].response_sum > 4.0);
+    }
+
+    #[test]
+    fn stuck_actuator_ignores_frequency_directives() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0);
+        sim.run_until(120.0).unwrap();
+        sim.set_actuator_stuck(0, true);
+        assert!(sim.actuator_stuck(0));
+        sim.set_frequency(0, 0); // ignored: actuator wedged
+        assert_eq!(sim.computer(0).frequency_index(), 1);
+        sim.schedule_arrival(120.0, 1.0).unwrap();
+        sim.run_until(121.5).unwrap();
+        assert_eq!(
+            sim.computer(0).queue_length(),
+            0,
+            "served at the wedged full-speed point"
+        );
+        sim.set_actuator_stuck(0, false);
+        sim.set_frequency(0, 0);
+        assert_eq!(sim.computer(0).frequency_index(), 0, "freed actuator obeys");
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub struct Computer {
     /// power draw — stays nominal. Models gradual service-rate
     /// degradation and post-failure capacity loss.
     service_scale: f64,
+    /// Crashed and not yet repaired: the machine is unbootable — power-on
+    /// orders are refused until [`Computer::repair`].
+    failed: bool,
 }
 
 impl Computer {
@@ -111,6 +114,7 @@ impl Computer {
             lifetime_completions: 0,
             energy_drained: 0.0,
             service_scale: 1.0,
+            failed: false,
         }
     }
 
@@ -217,6 +221,9 @@ impl Computer {
     /// a boot was started, `None` when the order was a no-op (already
     /// on/booting) or an instant recovery from `Draining`.
     pub fn power_on(&mut self, now: f64) -> Option<f64> {
+        if self.failed {
+            return None; // a crashed machine is unbootable until repaired
+        }
         match self.state {
             PowerState::Off => {
                 let ready_at = now + self.boot_delay;
@@ -275,6 +282,39 @@ impl Computer {
             }
             PowerState::Off | PowerState::Draining => {}
         }
+    }
+
+    /// Crash the machine at time `now`: every request in the system
+    /// (queued + in service) is ripped out and returned — in FCFS order,
+    /// with demands rescaled back to reference units so the caller can
+    /// re-dispatch them elsewhere — the state drops straight to `Off`
+    /// (no drain phase; a crash does not finish work), and the machine
+    /// is marked [failed](Computer::is_failed): power-on orders are
+    /// refused until [`Computer::repair`]. Idempotent on an
+    /// already-failed machine.
+    pub fn fail(&mut self, now: f64) -> Vec<Request> {
+        let lost: Vec<Request> = self
+            .server
+            .drain()
+            .into_iter()
+            .map(|r| Request::new(r.id, r.arrival, r.demand * self.speed))
+            .collect();
+        self.state = PowerState::Off;
+        self.failed = true;
+        self.refresh_power(now);
+        lost
+    }
+
+    /// Repair a crashed machine at time `now`: clears the failed mark so
+    /// the next power-on order boots it through the normal Off→Booting
+    /// dead time. No-op when not failed.
+    pub fn repair(&mut self, _now: f64) {
+        self.failed = false;
+    }
+
+    /// `true` while the machine is crashed and unbootable.
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     /// Select frequency by index at time `now`. Returns the new completion
@@ -546,6 +586,44 @@ mod tests {
         // The next window starts from a clean energy mark.
         let w2 = c.drain_stats(2.0);
         assert!((w2.energy - 0.75).abs() < 1e-9, "1 s idle-on at base cost");
+    }
+
+    #[test]
+    fn crash_drops_to_off_and_returns_work_in_reference_units() {
+        let mut c = Computer::new(vec![1.0e9], 2.0, PowerModel::paper_default(), 0.0);
+        c.power_on(0.0);
+        c.finish_boot(0.0);
+        c.offer(Request::new(1, 0.0, 1.0), 0.0);
+        c.offer(Request::new(2, 0.0, 0.5), 0.0);
+        let lost = c.fail(0.1);
+        assert_eq!(c.state(), PowerState::Off);
+        assert!(c.is_failed());
+        assert_eq!(c.queue_length(), 0);
+        assert_eq!(lost.len(), 2);
+        // FCFS order, demands un-scaled back to reference units (offer
+        // divided by speed = 2.0).
+        assert_eq!(lost[0].id, 1);
+        assert!((lost[0].demand - 1.0).abs() < 1e-12);
+        assert!((lost[1].demand - 0.5).abs() < 1e-12);
+        assert_eq!(c.energy_at(10.0), c.energy_at(0.1), "off draws nothing");
+    }
+
+    #[test]
+    fn failed_machine_refuses_power_on_until_repaired() {
+        let mut c = computer();
+        c.power_on(0.0);
+        c.finish_boot(120.0);
+        c.fail(130.0);
+        assert_eq!(c.power_on(131.0), None, "unbootable while failed");
+        assert_eq!(c.state(), PowerState::Off);
+        assert_eq!(
+            c.offer(Request::new(1, 131.0, 0.02), 131.0),
+            Admission::Rejected
+        );
+        c.repair(200.0);
+        assert!(!c.is_failed());
+        let ready = c.power_on(200.0).expect("boots normally after repair");
+        assert_eq!(ready, 320.0, "normal boot dead time applies");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 mod distributions;
 mod drift;
+mod faults;
 mod flash;
 mod locality;
 mod store;
@@ -50,6 +51,7 @@ mod wc98;
 
 pub use distributions::{derive_seed, Gaussian, LogNormal, Poisson, Zipf};
 pub use drift::{deep_degradation_scenario, drift_scenarios, CapacityProfile, DriftScenario};
+pub use faults::{fault_scenarios, FaultEvent, FaultKind, FaultPlan, FaultScenario};
 pub use flash::FlashCrowd;
 pub use locality::{LocalityModel, RequestSampler};
 pub use store::VirtualStore;

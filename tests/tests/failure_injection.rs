@@ -2,9 +2,10 @@
 //! dead time) must not sink requests — the boot-aware routing keeps load
 //! on the serving machines and the module soldiers on.
 
-use llc_cluster::{single_module, Experiment, HierarchicalPolicy};
+use llc_cluster::{single_module, Experiment, FaultToleranceConfig, HierarchicalPolicy};
+use llc_core::OnlineConfig;
 use llc_sim::PowerState;
-use llc_workload::{Trace, VirtualStore};
+use llc_workload::{FaultEvent, FaultKind, FaultPlan, Trace, VirtualStore};
 
 #[test]
 fn machine_that_never_boots_does_not_sink_requests() {
@@ -76,6 +77,77 @@ fn dead_machine_keeps_zero_queue() {
         }
     }
     assert_eq!(log.summary().total_dropped, 0);
+}
+
+/// Regression: a machine restarting into an *overloaded* module must not
+/// open an arrival-hoarding window. The overload makes every γ share
+/// precious, so the L1 is maximally tempted to hand the returning member
+/// load the moment it reappears — but from restart order to boot-done
+/// the machine cannot serve, and any requests routed at it would sit
+/// behind the boot dead time (or be refused outright). Its queue must
+/// read zero for the whole crash→boot-done stretch.
+#[test]
+fn restart_under_overload_has_no_arrival_hoarding_window() {
+    let scenario = single_module(4).with_coarse_learning().with_hash_maps();
+    let capacity: f64 = scenario.member_specs()[0]
+        .iter()
+        .map(|m| m.speed / m.c_prior)
+        .sum();
+    let mut policy = HierarchicalPolicy::build(&scenario);
+    policy.enable_closed_loop(OnlineConfig::default());
+    policy.enable_fault_tolerance(FaultToleranceConfig::default());
+
+    // ~95% of full-cluster capacity: the three survivors run overloaded
+    // the whole time machine 1 is down.
+    let rate = 0.95 * capacity;
+    let crash_tick = 20u64;
+    let restart_tick = 32u64;
+    let boot_ticks = 4u64; // 120 s boot at the 30 s base tick
+    let trace = Trace::new(30.0, vec![rate * 30.0; 60]).unwrap();
+    let store = VirtualStore::paper_default(7);
+    let experiment = Experiment {
+        faults: Some(FaultPlan::new(vec![
+            FaultEvent {
+                tick: crash_tick,
+                computer: 1,
+                kind: FaultKind::Crash { requeue: false },
+            },
+            FaultEvent {
+                tick: restart_tick,
+                computer: 1,
+                kind: FaultKind::Restart,
+            },
+        ])),
+        ..Experiment::paper_default(7)
+    };
+    let log = experiment
+        .run(scenario.to_sim_config(), &mut policy, &trace, &store)
+        .unwrap();
+
+    // From the crash until boot-done the machine can hold no work: the
+    // crash ripped its queue out, and nothing may be routed back at it
+    // until it actually serves again.
+    for t in &log.ticks {
+        if t.tick >= crash_tick && t.tick < restart_tick + boot_ticks {
+            assert_eq!(
+                t.queues[1], 0,
+                "tick {}: restarting machine hoards requests mid-overload",
+                t.tick
+            );
+        }
+    }
+    assert_eq!(policy.member_deaths(), 1, "watchdog saw the crash");
+    assert_eq!(policy.member_recoveries(), 1, "member rejoined after boot");
+    let s = log.summary();
+    // Drops are bounded by the watchdog's detection latency (the blind
+    // window where γ still points at the dead machine), not the whole
+    // outage: well under the ~25% share over the 12 dead ticks.
+    let outage_share = rate * 30.0 * (restart_tick + boot_ticks - crash_tick) as f64 / 4.0;
+    assert!(
+        (s.total_dropped as f64) < 0.8 * outage_share,
+        "dropped {} of an outage share of {outage_share:.0} — watchdog never rerouted",
+        s.total_dropped
+    );
 }
 
 #[test]
