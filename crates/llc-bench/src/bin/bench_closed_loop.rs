@@ -7,7 +7,7 @@
 //! * **caller-driven** — the PR 2 wiring: harness code drains the
 //!   derived outcomes after every tick and pushes them back through
 //!   `record_outcome`/`learn_online` by hand;
-//! * **closed-loop** — `enable_closed_loop` and *zero* harness code: the
+//! * **closed-loop** — `PolicyBuilder::closed_loop` and *zero* harness code: the
 //!   hierarchy records and absorbs its own outcomes in-loop.
 //!
 //! Tracking error is the prequential mean `|predicted − realized|` cost
@@ -35,8 +35,8 @@
 
 use llc_bench::report::{check_mode, quick_mode, runner_json};
 use llc_cluster::{
-    single_module, Action, ClusterPolicy, Experiment, HierarchicalPolicy, Observations,
-    RetrainConfig, ScenarioConfig,
+    single_module, Action, Cadence, ClusterPolicy, Experiment, HierarchicalPolicy, Observations,
+    PolicyBuilder, PolicyMetrics, RetrainConfig, ScenarioConfig,
 };
 use llc_core::OnlineConfig;
 use llc_workload::{
@@ -94,6 +94,14 @@ impl ClusterPolicy for CallerDriven {
 
     fn name(&self) -> &str {
         "hierarchical-llc-caller-driven"
+    }
+
+    fn cadence(&self) -> Cadence {
+        self.inner.cadence()
+    }
+
+    fn metrics(&self) -> PolicyMetrics {
+        self.inner.metrics()
     }
 }
 
@@ -160,24 +168,21 @@ fn scenario_config() -> ScenarioConfig {
 }
 
 fn run_arm(scenario: &DriftScenario, arm: Arm, seed: u64) -> ArmResult {
-    let sc = match arm {
-        Arm::SelfHeal => scenario_config().with_drift_aware_l0(),
-        _ => scenario_config(),
-    };
+    let sc = scenario_config();
     let cfg = OnlineConfig::default().validated();
-    let mut policy = HierarchicalPolicy::build(&sc);
-    match arm {
-        Arm::Offline => policy.enable_outcome_tracking(cfg),
-        Arm::Closed => policy.enable_closed_loop(cfg),
-        Arm::SelfHeal => {
-            policy.enable_closed_loop(cfg);
-            policy.enable_retrain(RetrainConfig::default());
-        }
-        Arm::Caller => {
-            policy.enable_outcome_tracking(cfg);
-            for m in 0..policy.num_modules() {
-                policy.l1_mut(m).enable_online(cfg);
-            }
+    let builder = PolicyBuilder::new(sc.clone());
+    let mut policy = match arm {
+        Arm::Offline | Arm::Caller => builder.outcome_tracking(cfg),
+        Arm::Closed => builder.closed_loop(cfg),
+        Arm::SelfHeal => builder
+            .drift_aware_l0()
+            .closed_loop(cfg)
+            .retrain(RetrainConfig::default()),
+    }
+    .build();
+    if arm == Arm::Caller {
+        for m in 0..policy.num_modules() {
+            policy.l1_mut(m).enable_online(cfg);
         }
     }
     let ratio = scenario.trace.interval() / 30.0;

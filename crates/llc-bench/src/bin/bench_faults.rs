@@ -10,8 +10,8 @@
 //! * **stuck-actuator** — a wedged DVFS actuator plus noisy sensors.
 //!
 //! Both arms run the identical closed-loop hierarchy
-//! (`enable_closed_loop`); the **fault-tolerant** arm additionally
-//! enables the watchdog stack (`enable_fault_tolerance`): suspect
+//! (`PolicyBuilder::closed_loop`); the **fault-tolerant** arm additionally
+//! enables the watchdog stack (`PolicyBuilder::fault_tolerance`): suspect
 //! counting, dead-member exclusion from the L1 search, one-shot L2
 //! hysteresis relaxation on membership change, telemetry-gated
 //! estimators and the safe-mode fallback. The **fault-blind** arm takes
@@ -41,8 +41,8 @@
 
 use llc_bench::report::{check_mode, quick_mode, runner_json};
 use llc_cluster::{
-    single_module, Action, ClusterPolicy, Experiment, FaultToleranceConfig, HierarchicalPolicy,
-    Observations, ScenarioConfig,
+    single_module, Action, Cadence, ClusterPolicy, Experiment, FaultToleranceConfig,
+    HierarchicalPolicy, Observations, PolicyBuilder, PolicyMetrics, ScenarioConfig,
 };
 use llc_core::OnlineConfig;
 use llc_workload::{fault_scenarios, FaultScenario, VirtualStore};
@@ -79,6 +79,14 @@ impl ClusterPolicy for ErrProbe {
 
     fn name(&self) -> &str {
         "hierarchical-llc-err-probe"
+    }
+
+    fn cadence(&self) -> Cadence {
+        self.inner.cadence()
+    }
+
+    fn metrics(&self) -> PolicyMetrics {
+        self.inner.metrics()
     }
 }
 
@@ -172,11 +180,12 @@ fn scenario_config() -> ScenarioConfig {
 
 fn run_arm(fs: &FaultScenario, tolerant: bool, seed: u64) -> ArmResult {
     let sc = scenario_config();
-    let mut policy = HierarchicalPolicy::build(&sc);
-    policy.enable_closed_loop(OnlineConfig::default().validated());
+    let mut builder =
+        PolicyBuilder::new(sc.clone()).closed_loop(OnlineConfig::default().validated());
     if tolerant {
-        policy.enable_fault_tolerance(FaultToleranceConfig::default());
+        builder = builder.fault_tolerance(FaultToleranceConfig::default());
     }
+    let policy = builder.build();
     let exp = Experiment {
         faults: Some(fs.plan.clone()),
         ..Experiment::paper_default(seed)

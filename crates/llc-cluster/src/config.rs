@@ -65,6 +65,7 @@ impl ScenarioConfig {
     /// processing time `ĉ/ŝ`. Off by default — the paper's model is
     /// capacity-blind.
     #[must_use]
+    #[deprecated(note = "configure via PolicyBuilder::drift_aware_l0")]
     pub fn with_drift_aware_l0(mut self) -> Self {
         self.l0.scale = llc_core::ScaleEstimatorConfig::enabled();
         self

@@ -1,0 +1,1078 @@
+//! The control plane: observation-ingest / directive-emit API.
+//!
+//! The paper specifies the hierarchy as an *online* controller — each
+//! level consumes streamed operating-condition estimates and emits
+//! directives on its own period — but the policy used to be drivable
+//! only through [`Experiment`]'s synchronous sim callbacks. This module
+//! splits decision-making from the drive loop:
+//!
+//! * plant telemetry arrives as [`ModuleObservation`]s through the
+//!   [`ObservationIngest`] trait — timestamped, per-module, tolerant of
+//!   out-of-order delivery and missing members;
+//! * decisions leave as typed [`Directive`]s through the
+//!   [`DirectiveEmit`] trait, each stamped with the level, tick and
+//!   epoch that produced it;
+//! * [`ControlPlane`] owns the L2/L1/L0 tick cadence on a virtual
+//!   clock, assembles per-tick [`Observations`] for any
+//!   [`ClusterPolicy`], and exposes a [`MetricsSnapshot`] combining its
+//!   own driver counters (ingest, reordering, decide latency) with the
+//!   policy's [`PolicyMetrics`] (drift detections per learner, retrain
+//!   triggers/rebuilds, member deaths/recoveries, safe-mode periods,
+//!   feed-forward events).
+//!
+//! [`Experiment`] is one client of this API (its sim adapter translates
+//! plant state into observations and directives into actuation);
+//! `examples/control_plane.rs` is another, running the hierarchy as a
+//! long-lived loop fed by a channel with no `Experiment` at all.
+//!
+//! ## Observe vs Learn at the API boundary
+//!
+//! The closed-loop mode of the policy behind the plane decides what an
+//! ingested observation *does*: in `Learn` mode the hierarchy derives
+//! realized outcomes from the stream and absorbs them into its own
+//! models (the plane's client supplies telemetry and nothing else); in
+//! `Observe` mode outcomes are derived and queued but never learned
+//! from, so the client may drain them and drive the learning loop
+//! itself. The ingest surface is identical in both — the mode is a
+//! property of the policy, not of the transport.
+//!
+//! [`Experiment`]: crate::Experiment
+
+#![deny(missing_docs)]
+
+use crate::hierarchy::LevelOverhead;
+use crate::policy::{Action, ClusterPolicy, ComputerObs, ModuleObs, Observations};
+use crate::{L0Config, L1Config, L2Config};
+use llc_sim::{PowerState, WindowStats};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// A hierarchy level, from fastest (per-computer DVFS) to slowest
+/// (cluster-wide split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Per-computer frequency control (every base tick, `T_L0`).
+    L0,
+    /// Per-module on/off and load-split control (`T_L1`).
+    L1,
+    /// Cluster-wide module-split control (`T_L2`).
+    L2,
+}
+
+/// The tick cadence of the two slow levels, in base (`T_L0`) ticks: the
+/// period bookkeeping that used to live inline in the hierarchy and now
+/// belongs to the driver. An L1 decision fires on ticks divisible by
+/// `l1_every`, an L2 decision on ticks divisible by `l2_every`; epochs
+/// count those firings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cadence {
+    /// Base ticks per L1 period (`T_L1 / T_L0`, at least 1).
+    pub l1_every: u64,
+    /// Base ticks per L2 period (`T_L2 / T_L0`, at least 1).
+    pub l2_every: u64,
+}
+
+impl Cadence {
+    /// The flat cadence: every level fires every base tick (what a
+    /// non-hierarchical policy reports).
+    pub fn base() -> Self {
+        Cadence {
+            l1_every: 1,
+            l2_every: 1,
+        }
+    }
+
+    /// Derive the cadence from the three level configurations (periods
+    /// rounded to whole base ticks, floored at one).
+    pub fn from_configs(l0: &L0Config, l1: &L1Config, l2: &L2Config) -> Self {
+        Cadence {
+            l1_every: l0.ticks_per(l1.period),
+            l2_every: l0.ticks_per(l2.period),
+        }
+    }
+
+    /// `true` when an L1 decision fires at `tick`.
+    pub fn is_l1_tick(&self, tick: u64) -> bool {
+        tick.is_multiple_of(self.l1_every)
+    }
+
+    /// `true` when an L2 decision fires at `tick`.
+    pub fn is_l2_tick(&self, tick: u64) -> bool {
+        tick.is_multiple_of(self.l2_every)
+    }
+
+    /// The epoch of `level` at `tick`: how many of that level's periods
+    /// have started up to and including the tick. Directives carry it so
+    /// a consumer can tell which decision round produced them.
+    pub fn epoch(&self, level: Level, tick: u64) -> u64 {
+        match level {
+            Level::L0 => tick,
+            Level::L1 => tick / self.l1_every,
+            Level::L2 => tick / self.l2_every,
+        }
+    }
+
+    /// The wall-clock period of `level` in seconds, given the base tick
+    /// length.
+    pub fn period_of(&self, level: Level, t_l0: f64) -> f64 {
+        match level {
+            Level::L0 => t_l0,
+            Level::L1 => self.l1_every as f64 * t_l0,
+            Level::L2 => self.l2_every as f64 * t_l0,
+        }
+    }
+}
+
+/// One member's telemetry for one base tick, as reported over the
+/// ingest surface. `member` is the position within the module (not the
+/// global computer index — the plane owns the topology and does the
+/// translation).
+///
+/// When `telemetry_ok` is `false` the reporter lost this window
+/// (blackout, crash-stop silence): `window` and `queue` arrive blank
+/// and `state`/`frequency_index` should be *frozen at the last healthy
+/// values the reporter saw* — crash-stop is indistinguishable from a
+/// partition, so ground truth is unavailable. `rejected` is measured at
+/// the module dispatcher, not the machine, and therefore stays valid
+/// through darkness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberTelemetry {
+    /// Position of the member within its module.
+    pub member: usize,
+    /// Queue length at the sampling instant (queued + in service).
+    pub queue: usize,
+    /// Realized stats of the window that just ended.
+    pub window: WindowStats,
+    /// Power state at the sampling instant (last healthy value when
+    /// `telemetry_ok` is `false`).
+    pub state: PowerState,
+    /// Frequency-table index (last healthy value when `telemetry_ok` is
+    /// `false`).
+    pub frequency_index: usize,
+    /// `false` when this window's telemetry was lost.
+    pub telemetry_ok: bool,
+    /// Dispatcher-side refused sends to this member during the window.
+    pub rejected: u64,
+}
+
+/// One module's observation for one base tick: the unit of ingest.
+///
+/// A module reports all the members it heard from; members it omits are
+/// dark-filled by the plane (blank window, `telemetry_ok = false`,
+/// state frozen at the plane's last record) — absence of telemetry must
+/// never stall or crash the controller, because the fault-tolerance
+/// path already models exactly this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleObservation {
+    /// Module index.
+    pub module: usize,
+    /// Base tick the window ended at (the plane's virtual clock).
+    pub tick: u64,
+    /// Telemetry for the members the reporter heard from.
+    pub members: Vec<MemberTelemetry>,
+    /// Requests dispatched to the module during the window.
+    pub arrivals: u64,
+    /// Requests dropped at/inside the module during the window.
+    pub dropped: u64,
+}
+
+/// A typed decision leaving the control plane.
+///
+/// Every directive is stamped with the base `tick` and virtual `time`
+/// it was decided at, the [`Level`] that decided it, and that level's
+/// `epoch` — the count of decision rounds the level has run. Two
+/// directives with the same level and epoch came from the same decision
+/// round; a consumer reconciling against a slow transport can use the
+/// epoch to drop superseded directives (a later epoch at the same level
+/// always wins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Directive {
+    /// Base tick the decision was taken at.
+    pub tick: u64,
+    /// Virtual time in seconds (`tick · T_L0`).
+    pub time: f64,
+    /// The hierarchy level that produced the decision.
+    pub level: Level,
+    /// The producing level's decision-round counter at `tick`.
+    pub epoch: u64,
+    /// What to do.
+    pub kind: DirectiveKind,
+}
+
+/// The payload of a [`Directive`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirectiveKind {
+    /// Set a computer's frequency-table index (L0).
+    Frequency {
+        /// Global computer index.
+        computer: usize,
+        /// Frequency-table index to run at.
+        index: usize,
+    },
+    /// Power a computer on or off (L1's α decision).
+    Activation {
+        /// Global computer index.
+        computer: usize,
+        /// `true` = power on (incurs boot dead time), `false` = drain
+        /// and power off.
+        on: bool,
+    },
+    /// Install a load split (L1's per-module γ over members when
+    /// `module` is set; L2's cluster-wide split over modules when it is
+    /// `None`).
+    Split {
+        /// The module whose member split this is, or `None` for the
+        /// cluster-wide module split.
+        module: Option<usize>,
+        /// The weights, summing to 1 over live targets.
+        weights: Vec<f64>,
+    },
+    /// A module entered or left safe mode (uniform split over live
+    /// members, models distrusted). Informational: it accompanies the
+    /// `Split`/`Activation` directives that enact the posture, so it
+    /// maps to no plant action — consumers use it to raise or clear an
+    /// operator-facing alarm.
+    SafeMode {
+        /// Module index.
+        module: usize,
+        /// `true` on entry, `false` on exit.
+        active: bool,
+    },
+}
+
+impl Directive {
+    /// Translate to the plant-actuation [`Action`], or `None` for
+    /// informational directives ([`DirectiveKind::SafeMode`]).
+    pub fn to_action(&self) -> Option<Action> {
+        match &self.kind {
+            DirectiveKind::Frequency { computer, index } => {
+                Some(Action::SetFrequency(*computer, *index))
+            }
+            DirectiveKind::Activation { computer, on } => Some(if *on {
+                Action::PowerOn(*computer)
+            } else {
+                Action::PowerOff(*computer)
+            }),
+            DirectiveKind::Split {
+                module: Some(m),
+                weights,
+            } => Some(Action::SetComputerWeights(*m, weights.clone())),
+            DirectiveKind::Split {
+                module: None,
+                weights,
+            } => Some(Action::SetModuleWeights(weights.clone())),
+            DirectiveKind::SafeMode { .. } => None,
+        }
+    }
+}
+
+/// Why an observation was refused at the ingest surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The observation names a module the plane does not manage.
+    UnknownModule {
+        /// The offending module index.
+        module: usize,
+        /// Modules managed.
+        modules: usize,
+    },
+    /// The observation names a member position outside its module.
+    UnknownMember {
+        /// The module reported for.
+        module: usize,
+        /// The offending member position.
+        member: usize,
+        /// Members in that module.
+        members: usize,
+    },
+    /// The observation's tick was already decided: the plane never
+    /// revisits a decided tick, so late telemetry is dropped (and
+    /// counted) rather than buffered.
+    Stale {
+        /// The observation's tick.
+        tick: u64,
+        /// The earliest tick still accepted.
+        next_tick: u64,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::UnknownModule { module, modules } => {
+                write!(f, "unknown module {module} (plane manages {modules})")
+            }
+            IngestError::UnknownMember {
+                module,
+                member,
+                members,
+            } => write!(
+                f,
+                "unknown member {member} in module {module} ({members} members)"
+            ),
+            IngestError::Stale { tick, next_tick } => write!(
+                f,
+                "stale observation for tick {tick} (next undecided tick is {next_tick})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// The observation-ingest surface of a control plane.
+///
+/// # Ordering guarantees
+///
+/// * Observations may arrive in **any order** across modules and across
+///   future ticks: the plane buffers them by tick and assembles each
+///   tick's view when it is decided, so a reordering transport needs no
+///   client-side resequencing.
+/// * Within one `(tick, module)` pair, the **last observation wins** —
+///   a retransmission simply replaces the buffered one.
+/// * An observation for a tick **already decided** is refused with
+///   [`IngestError::Stale`]: the virtual clock never rewinds, and a
+///   decision, once taken, is never revised.
+/// * **Missing data never blocks the clock**: a tick may be decided
+///   with whole modules or individual members absent — they are treated
+///   as dark (blank window, `telemetry_ok = false`), which is exactly
+///   the condition the policy's fault-tolerance path models.
+pub trait ObservationIngest {
+    /// Feed one module's telemetry for one tick.
+    ///
+    /// # Errors
+    ///
+    /// Refuses observations naming unknown modules/members and
+    /// observations for already-decided ticks (see [`IngestError`]).
+    fn ingest(&mut self, observation: ModuleObservation) -> Result<(), IngestError>;
+}
+
+/// The directive-emit surface of a control plane: decisions accumulate
+/// in an internal queue and are drained by the transport that delivers
+/// them to the plant.
+pub trait DirectiveEmit {
+    /// Take every directive emitted since the last drain, oldest first.
+    /// Within one tick the order is the policy's actuation order and
+    /// must be preserved by the consumer (a frequency directive may
+    /// assume the activation before it has been applied).
+    fn drain_directives(&mut self) -> Vec<Directive>;
+}
+
+/// Decide-latency accounting: wall-clock time spent inside the policy's
+/// `decide`, excluding observation assembly and directive translation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Decisions timed.
+    pub decisions: u64,
+    /// Total time across all decisions.
+    pub total: Duration,
+    /// The slowest single decision.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    fn record(&mut self, elapsed: Duration) {
+        self.decisions += 1;
+        self.total += elapsed;
+        self.max = self.max.max(elapsed);
+    }
+
+    /// Mean decide latency, or zero before any decision.
+    pub fn mean(&self) -> Duration {
+        if self.decisions == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.decisions as u32
+        }
+    }
+}
+
+/// The operational counters a [`ClusterPolicy`] exposes through the
+/// metrics surface. Everything here used to be buried in private
+/// counters across three structs with three access idioms
+/// (`HierarchicalPolicy`, its watchdog, its retrain manager); the
+/// control plane surfaces them all in one place via
+/// [`MetricsSnapshot`]. A policy without a given subsystem reports
+/// zeros/empties — the defaults.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicyMetrics {
+    /// Observations blended into learned models so far (all levels).
+    pub online_updates: u64,
+    /// Drift detections fired per L1 learner: one inner vector per
+    /// module, one counter per member abstraction map. Empty while
+    /// online learning is off.
+    pub map_drift_detections: Vec<Vec<u64>>,
+    /// Drift detections fired per L2 learner (one counter per module
+    /// cost model). Empty without an L2 or while online learning is
+    /// off.
+    pub model_drift_detections: Vec<u64>,
+    /// Mean prequential tracking error (`|predicted − realized|` cost),
+    /// or `None` before any outcome was derived.
+    pub tracking_error: Option<f64>,
+    /// Realized outcomes derived so far.
+    pub tracking_samples: u64,
+    /// Background rebuilds triggered so far (completed plus in flight).
+    pub retrain_triggers: u64,
+    /// Background rebuilds completed and hot-swapped so far.
+    pub rebuilds: u64,
+    /// `true` while a background rebuild is in flight.
+    pub retrain_pending: bool,
+    /// Members declared dead so far (cumulative).
+    pub member_deaths: u64,
+    /// Dead members that rejoined so far.
+    pub member_recoveries: u64,
+    /// Which members the watchdog currently considers dead, by global
+    /// computer index. Empty without fault tolerance.
+    pub members_dead: Vec<bool>,
+    /// Module-periods spent in safe mode so far.
+    pub safe_mode_periods: u64,
+    /// Which modules are in safe mode right now. Empty without fault
+    /// tolerance.
+    pub safe_mode_active: Vec<bool>,
+    /// L2→L1 feed-forward events (decided split pushed into a module's
+    /// λ forecast) so far.
+    pub feed_forward_events: u64,
+    /// Per-level wall-clock decide overhead, indexed `[L0, L1, L2]`.
+    pub level_overhead: [LevelOverhead; 3],
+}
+
+impl PolicyMetrics {
+    /// Total drift detections across every learner at every level.
+    pub fn drift_detections(&self) -> u64 {
+        let maps: u64 = self.map_drift_detections.iter().flatten().sum();
+        maps + self.model_drift_detections.iter().sum::<u64>()
+    }
+}
+
+/// Everything observable about a control plane at one instant: the
+/// driver's own ingest/emit/latency counters plus the policy's
+/// [`PolicyMetrics`]. This is the one metrics surface — the counters
+/// that used to require knowing which struct owned them
+/// (`member_deaths` on the policy, `rebuilds` on the retrain manager,
+/// per-learner detections on each controller) are all reachable from
+/// here.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// The next undecided tick of the virtual clock.
+    pub next_tick: u64,
+    /// Ticks decided so far.
+    pub ticks_decided: u64,
+    /// Observations accepted at the ingest surface.
+    pub observations_ingested: u64,
+    /// Accepted observations that arrived after an observation for a
+    /// later tick (genuine transport reordering).
+    pub out_of_order_observations: u64,
+    /// Observations refused because their tick was already decided.
+    pub stale_observations: u64,
+    /// Member-windows dark-filled because no telemetry arrived for them
+    /// at a decided tick.
+    pub dark_filled_members: u64,
+    /// Directives emitted so far.
+    pub directives_emitted: u64,
+    /// Decide-latency accounting.
+    pub decide: LatencyStats,
+    /// The policy's own operational counters.
+    pub policy: PolicyMetrics,
+}
+
+impl MetricsSnapshot {
+    /// Members declared dead so far (cumulative).
+    pub fn member_deaths(&self) -> u64 {
+        self.policy.member_deaths
+    }
+
+    /// Dead members that rejoined so far.
+    pub fn member_recoveries(&self) -> u64 {
+        self.policy.member_recoveries
+    }
+
+    /// Module-periods spent in safe mode so far.
+    pub fn safe_mode_periods(&self) -> u64 {
+        self.policy.safe_mode_periods
+    }
+
+    /// Background rebuilds completed and hot-swapped so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.policy.rebuilds
+    }
+
+    /// Total drift detections across every learner at every level.
+    pub fn drift_detections(&self) -> u64 {
+        self.policy.drift_detections()
+    }
+}
+
+/// What one [`ControlPlane::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// The tick decided.
+    pub tick: u64,
+    /// Virtual time of the decision (seconds).
+    pub time: f64,
+    /// Wall-clock time spent inside the policy's `decide`.
+    pub decide_time: Duration,
+    /// Directives emitted by this step.
+    pub directives: usize,
+}
+
+/// The driver that runs a [`ClusterPolicy`] as a control plane: it owns
+/// the virtual clock and the level cadence, buffers ingested
+/// observations by tick, assembles each tick's [`Observations`] (dark-
+/// filling missing members), times the decision, and translates actions
+/// into stamped [`Directive`]s.
+///
+/// The plane is transport-agnostic: [`Experiment`] drives it in
+/// lockstep against the simulator, `examples/control_plane.rs` drives
+/// it from a channel. Both produce bit-identical directive sequences
+/// for the same telemetry stream, because the plane itself is
+/// deterministic — all wall-clock measurement is confined to the
+/// latency metrics.
+///
+/// [`Experiment`]: crate::Experiment
+#[derive(Debug)]
+pub struct ControlPlane<P: ClusterPolicy> {
+    policy: P,
+    /// Global computer indices per module (the topology).
+    members: Vec<Vec<usize>>,
+    /// Reverse topology: module of each global computer index.
+    computer_module: Vec<usize>,
+    t_l0: f64,
+    cadence: Cadence,
+    next_tick: u64,
+    /// Buffered observations for undecided ticks, one slot per module.
+    pending: BTreeMap<u64, Vec<Option<ModuleObservation>>>,
+    /// Emitted directives awaiting a drain.
+    out: VecDeque<Directive>,
+    /// Last known state/frequency per computer, used to dark-fill
+    /// members that sent no telemetry at all.
+    last_state: Vec<PowerState>,
+    last_frequency: Vec<usize>,
+    /// Safe-mode posture per module at the previous L1 tick (diffed to
+    /// emit `SafeMode` directives on transitions).
+    safe_mode_prev: Vec<bool>,
+    ingested: u64,
+    out_of_order: u64,
+    stale: u64,
+    dark_filled: u64,
+    emitted: u64,
+    decide: LatencyStats,
+}
+
+impl<P: ClusterPolicy> ControlPlane<P> {
+    /// A plane driving `policy` over the topology `members` (global
+    /// computer indices per module) with base tick length `t_l0`
+    /// seconds. The cadence is taken from the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is empty, `t_l0` is not positive, or the
+    /// member indices do not form a dense `0..n` cover (every global
+    /// computer index in exactly one module).
+    pub fn new(policy: P, members: Vec<Vec<usize>>, t_l0: f64) -> Self {
+        assert!(t_l0 > 0.0, "base tick length must be positive");
+        assert!(
+            !members.is_empty(),
+            "topology must have at least one module"
+        );
+        let num_computers: usize = members.iter().map(|m| m.len()).sum();
+        let mut computer_module = vec![usize::MAX; num_computers];
+        for (m, module) in members.iter().enumerate() {
+            for &i in module {
+                assert!(
+                    i < num_computers && computer_module[i] == usize::MAX,
+                    "member indices must form a dense 0..{num_computers} cover"
+                );
+                computer_module[i] = m;
+            }
+        }
+        let cadence = policy.cadence();
+        let num_modules = members.len();
+        ControlPlane {
+            policy,
+            members,
+            computer_module,
+            t_l0,
+            cadence,
+            next_tick: 0,
+            pending: BTreeMap::new(),
+            out: VecDeque::new(),
+            last_state: vec![PowerState::Off; num_computers],
+            last_frequency: vec![0; num_computers],
+            safe_mode_prev: vec![false; num_modules],
+            ingested: 0,
+            out_of_order: 0,
+            stale: 0,
+            dark_filled: 0,
+            emitted: 0,
+            decide: LatencyStats::default(),
+        }
+    }
+
+    /// The topology: global computer indices per module.
+    pub fn members(&self) -> &[Vec<usize>] {
+        &self.members
+    }
+
+    /// The level cadence in force.
+    pub fn cadence(&self) -> Cadence {
+        self.cadence
+    }
+
+    /// The next undecided tick of the virtual clock.
+    pub fn next_tick(&self) -> u64 {
+        self.next_tick
+    }
+
+    /// The policy behind the plane.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the policy behind the plane.
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Dissolve the plane and hand the policy back.
+    pub fn into_policy(self) -> P {
+        self.policy
+    }
+
+    /// `true` when every module has reported for the next tick — the
+    /// natural "step now" signal for an event-driven client. Stepping
+    /// without it is allowed (missing reporters are dark-filled).
+    pub fn ready(&self) -> bool {
+        self.pending
+            .get(&self.next_tick)
+            .is_some_and(|slot| slot.iter().all(Option::is_some))
+    }
+
+    /// Decide the next tick from whatever has been ingested for it,
+    /// dark-filling missing members, and queue the resulting
+    /// directives. Advances the virtual clock by one base tick.
+    pub fn step(&mut self) -> StepReport {
+        let tick = self.next_tick;
+        let time = tick as f64 * self.t_l0;
+        let num_computers = self.computer_module.len();
+        let slot = self
+            .pending
+            .remove(&tick)
+            .unwrap_or_else(|| vec![None; self.members.len()]);
+
+        let mut computers: Vec<Option<ComputerObs>> = vec![None; num_computers];
+        let mut modules = Vec::with_capacity(self.members.len());
+        for (m, entry) in slot.into_iter().enumerate() {
+            let (arrivals, dropped) = entry.as_ref().map_or((0, 0), |o| (o.arrivals, o.dropped));
+            modules.push(ModuleObs {
+                index: m,
+                arrivals,
+                dropped,
+            });
+            let Some(observation) = entry else { continue };
+            for t in observation.members {
+                let i = self.members[m][t.member];
+                // The reporter freezes state/frequency at its last
+                // healthy values when telemetry is lost; the plane
+                // passes them through and remembers them for
+                // dark-filling members that stop reporting entirely.
+                self.last_state[i] = t.state;
+                self.last_frequency[i] = t.frequency_index;
+                computers[i] = Some(ComputerObs {
+                    index: i,
+                    module: m,
+                    queue: t.queue,
+                    window: t.window,
+                    state: t.state,
+                    frequency_index: t.frequency_index,
+                    telemetry_ok: t.telemetry_ok,
+                    rejected: t.rejected,
+                });
+            }
+        }
+        let mut dark_filled = 0u64;
+        let computers: Vec<ComputerObs> = computers
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                c.unwrap_or_else(|| {
+                    dark_filled += 1;
+                    ComputerObs {
+                        index: i,
+                        module: self.computer_module[i],
+                        queue: 0,
+                        window: WindowStats::default(),
+                        state: self.last_state[i],
+                        frequency_index: self.last_frequency[i],
+                        telemetry_ok: false,
+                        rejected: 0,
+                    }
+                })
+            })
+            .collect();
+        self.dark_filled += dark_filled;
+
+        let obs = Observations {
+            tick,
+            time,
+            computers,
+            modules,
+        };
+        let started = Instant::now();
+        let actions = self.policy.decide(&obs);
+        let decide_time = started.elapsed();
+        self.decide.record(decide_time);
+
+        let mut emitted = 0usize;
+        for action in actions {
+            let (level, kind) = match action {
+                Action::SetFrequency(computer, index) => {
+                    (Level::L0, DirectiveKind::Frequency { computer, index })
+                }
+                Action::PowerOn(computer) => {
+                    (Level::L1, DirectiveKind::Activation { computer, on: true })
+                }
+                Action::PowerOff(computer) => (
+                    Level::L1,
+                    DirectiveKind::Activation {
+                        computer,
+                        on: false,
+                    },
+                ),
+                Action::SetComputerWeights(m, weights) => (
+                    Level::L1,
+                    DirectiveKind::Split {
+                        module: Some(m),
+                        weights,
+                    },
+                ),
+                Action::SetModuleWeights(weights) => (
+                    Level::L2,
+                    DirectiveKind::Split {
+                        module: None,
+                        weights,
+                    },
+                ),
+            };
+            self.out.push_back(Directive {
+                tick,
+                time,
+                level,
+                epoch: self.cadence.epoch(level, tick),
+                kind,
+            });
+            emitted += 1;
+        }
+
+        // Safe mode is an L1-period posture: diff it at L1 ticks and
+        // emit transitions as informational directives.
+        if self.cadence.is_l1_tick(tick) {
+            let safe_now = self.policy.metrics().safe_mode_active;
+            if safe_now.len() == self.safe_mode_prev.len() {
+                for (m, (&was, &is)) in self.safe_mode_prev.iter().zip(&safe_now).enumerate() {
+                    if was != is {
+                        self.out.push_back(Directive {
+                            tick,
+                            time,
+                            level: Level::L1,
+                            epoch: self.cadence.epoch(Level::L1, tick),
+                            kind: DirectiveKind::SafeMode {
+                                module: m,
+                                active: is,
+                            },
+                        });
+                        emitted += 1;
+                    }
+                }
+                self.safe_mode_prev = safe_now;
+            }
+        }
+        self.emitted += emitted as u64;
+        self.next_tick += 1;
+        StepReport {
+            tick,
+            time,
+            decide_time,
+            directives: emitted,
+        }
+    }
+
+    /// Step every tick whose window has fully elapsed by virtual time
+    /// `now` (seconds), returning one report per decision. The idle
+    /// form of the drive loop: feed observations as they arrive, then
+    /// let the clock catch up.
+    pub fn advance_to(&mut self, now: f64) -> Vec<StepReport> {
+        let mut reports = Vec::new();
+        while self.next_tick as f64 * self.t_l0 <= now + 1e-9 {
+            reports.push(self.step());
+        }
+        reports
+    }
+
+    /// Snapshot every operational counter: the driver's and the
+    /// policy's.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            next_tick: self.next_tick,
+            ticks_decided: self.next_tick,
+            observations_ingested: self.ingested,
+            out_of_order_observations: self.out_of_order,
+            stale_observations: self.stale,
+            dark_filled_members: self.dark_filled,
+            directives_emitted: self.emitted,
+            decide: self.decide,
+            policy: self.policy.metrics(),
+        }
+    }
+}
+
+impl<P: ClusterPolicy> ObservationIngest for ControlPlane<P> {
+    fn ingest(&mut self, observation: ModuleObservation) -> Result<(), IngestError> {
+        let m = observation.module;
+        if m >= self.members.len() {
+            return Err(IngestError::UnknownModule {
+                module: m,
+                modules: self.members.len(),
+            });
+        }
+        let module_len = self.members[m].len();
+        if let Some(bad) = observation.members.iter().find(|t| t.member >= module_len) {
+            return Err(IngestError::UnknownMember {
+                module: m,
+                member: bad.member,
+                members: module_len,
+            });
+        }
+        if observation.tick < self.next_tick {
+            self.stale += 1;
+            return Err(IngestError::Stale {
+                tick: observation.tick,
+                next_tick: self.next_tick,
+            });
+        }
+        if self
+            .pending
+            .keys()
+            .next_back()
+            .is_some_and(|&latest| latest > observation.tick)
+        {
+            self.out_of_order += 1;
+        }
+        let modules = self.members.len();
+        let slot = self
+            .pending
+            .entry(observation.tick)
+            .or_insert_with(|| vec![None; modules]);
+        slot[m] = Some(observation);
+        self.ingested += 1;
+        Ok(())
+    }
+}
+
+impl<P: ClusterPolicy> DirectiveEmit for ControlPlane<P> {
+    fn drain_directives(&mut self) -> Vec<Directive> {
+        self.out.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A policy that powers everything on at tick 0 and re-splits at
+    /// its (fake) L1 cadence.
+    struct Probe {
+        cadence: Cadence,
+        seen: Vec<u64>,
+        dark_seen: usize,
+    }
+
+    impl ClusterPolicy for Probe {
+        fn decide(&mut self, obs: &Observations) -> Vec<Action> {
+            self.seen.push(obs.tick);
+            self.dark_seen += obs.computers.iter().filter(|c| !c.telemetry_ok).count();
+            let mut actions = Vec::new();
+            if obs.tick == 0 {
+                actions.push(Action::PowerOn(0));
+                actions.push(Action::SetFrequency(1, 2));
+            }
+            if self.cadence.is_l1_tick(obs.tick) {
+                actions.push(Action::SetComputerWeights(0, vec![0.5, 0.5]));
+            }
+            actions
+        }
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn cadence(&self) -> Cadence {
+            self.cadence
+        }
+    }
+
+    fn plane() -> ControlPlane<Probe> {
+        ControlPlane::new(
+            Probe {
+                cadence: Cadence {
+                    l1_every: 4,
+                    l2_every: 4,
+                },
+                seen: Vec::new(),
+                dark_seen: 0,
+            },
+            vec![vec![0, 1]],
+            30.0,
+        )
+    }
+
+    fn telemetry(member: usize) -> MemberTelemetry {
+        MemberTelemetry {
+            member,
+            queue: 1,
+            window: WindowStats::default(),
+            state: PowerState::On,
+            frequency_index: 1,
+            telemetry_ok: true,
+            rejected: 0,
+        }
+    }
+
+    fn observation(tick: u64, members: Vec<MemberTelemetry>) -> ModuleObservation {
+        ModuleObservation {
+            module: 0,
+            tick,
+            members,
+            arrivals: 10,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn directives_carry_level_and_epoch() {
+        let mut plane = plane();
+        plane
+            .ingest(observation(0, vec![telemetry(0), telemetry(1)]))
+            .unwrap();
+        assert!(plane.ready());
+        let report = plane.step();
+        assert_eq!(report.tick, 0);
+        let directives = plane.drain_directives();
+        assert_eq!(report.directives, directives.len());
+        let freq = directives
+            .iter()
+            .find(|d| matches!(d.kind, DirectiveKind::Frequency { .. }))
+            .expect("frequency directive");
+        assert_eq!(freq.level, Level::L0);
+        assert_eq!(freq.epoch, 0);
+        let split = directives
+            .iter()
+            .find(|d| matches!(d.kind, DirectiveKind::Split { .. }))
+            .expect("split directive");
+        assert_eq!(split.level, Level::L1);
+        assert_eq!(
+            split.to_action(),
+            Some(Action::SetComputerWeights(0, vec![0.5, 0.5]))
+        );
+    }
+
+    #[test]
+    fn out_of_order_and_stale_ingest() {
+        let mut plane = plane();
+        plane
+            .ingest(observation(1, vec![telemetry(0), telemetry(1)]))
+            .unwrap();
+        // Tick 0 arrives after tick 1: accepted, counted as reordered.
+        plane
+            .ingest(observation(0, vec![telemetry(0), telemetry(1)]))
+            .unwrap();
+        let _ = plane.step();
+        let _ = plane.step();
+        // Tick 0 again: already decided.
+        let err = plane
+            .ingest(observation(0, vec![telemetry(0)]))
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Stale { tick: 0, .. }));
+        let m = plane.metrics();
+        assert_eq!(m.out_of_order_observations, 1);
+        assert_eq!(m.stale_observations, 1);
+        assert_eq!(m.ticks_decided, 2);
+        assert_eq!(m.observations_ingested, 2);
+    }
+
+    #[test]
+    fn missing_members_are_dark_filled() {
+        let mut plane = plane();
+        // Member 1 healthy at tick 0 so the plane learns its state.
+        plane
+            .ingest(observation(0, vec![telemetry(0), telemetry(1)]))
+            .unwrap();
+        let _ = plane.step();
+        // Tick 1: member 1 missing entirely. Readiness is per-module —
+        // the reporter spoke, so the tick counts as reported; the
+        // omitted member is dark-filled at assembly.
+        plane.ingest(observation(1, vec![telemetry(0)])).unwrap();
+        assert!(plane.ready());
+        let _ = plane.step();
+        assert_eq!(plane.metrics().dark_filled_members, 1);
+        assert_eq!(plane.policy().dark_seen, 1);
+        // The dark fill froze the last known state.
+        assert_eq!(plane.last_state[1], PowerState::On);
+        assert_eq!(plane.last_frequency[1], 1);
+    }
+
+    #[test]
+    fn advance_to_steps_the_virtual_clock() {
+        let mut plane = plane();
+        let reports = plane.advance_to(90.0);
+        assert_eq!(reports.len(), 4, "ticks 0,1,2,3 elapsed by t=90s");
+        assert_eq!(plane.next_tick(), 4);
+        // No telemetry at all: everything dark-filled, decisions still
+        // taken (absence of telemetry must not stall the controller).
+        assert_eq!(plane.metrics().dark_filled_members, 8);
+    }
+
+    #[test]
+    fn rejects_unknown_topology_references() {
+        let mut plane = plane();
+        let err = plane
+            .ingest(ModuleObservation {
+                module: 3,
+                tick: 0,
+                members: vec![],
+                arrivals: 0,
+                dropped: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, IngestError::UnknownModule { module: 3, .. }));
+        let err = plane
+            .ingest(observation(0, vec![telemetry(7)]))
+            .unwrap_err();
+        assert!(matches!(err, IngestError::UnknownMember { member: 7, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_topology_panics() {
+        let _ = ControlPlane::new(
+            Probe {
+                cadence: Cadence::base(),
+                seen: Vec::new(),
+                dark_seen: 0,
+            },
+            vec![vec![0, 2]],
+            30.0,
+        );
+    }
+
+    #[test]
+    fn cadence_epochs() {
+        let c = Cadence {
+            l1_every: 4,
+            l2_every: 8,
+        };
+        assert!(c.is_l1_tick(0) && c.is_l1_tick(4) && !c.is_l1_tick(3));
+        assert!(c.is_l2_tick(8) && !c.is_l2_tick(4));
+        assert_eq!(c.epoch(Level::L0, 7), 7);
+        assert_eq!(c.epoch(Level::L1, 7), 1);
+        assert_eq!(c.epoch(Level::L2, 7), 0);
+        assert_eq!(c.period_of(Level::L2, 30.0), 240.0);
+    }
+}

@@ -1,11 +1,15 @@
-use crate::policy::{Action, ClusterPolicy, ComputerObs, ModuleObs, Observations};
-use llc_sim::{ClusterConfig, ClusterSim, SimError};
+use crate::control::{
+    ControlPlane, Directive, DirectiveEmit, MemberTelemetry, MetricsSnapshot, ModuleObservation,
+    ObservationIngest,
+};
+use crate::policy::{Action, ClusterPolicy};
+use llc_sim::{ClusterConfig, ClusterSim, PowerState, SimError, WindowStats};
 use llc_workload::{
     derive_seed, spread_arrivals, CapacityProfile, FaultKind, FaultPlan, Gaussian, RequestSampler,
     Trace, VirtualStore,
 };
 use rand::SeedableRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One base-tick record of an experiment run.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +76,13 @@ pub struct ExperimentLog {
     pub response_target: f64,
     /// Per-tick records.
     pub ticks: Vec<TickRecord>,
+    /// Every [`Directive`] the control plane emitted over the run, in
+    /// emission order (the actuation order).
+    pub directives: Vec<Directive>,
+    /// The control plane's final [`MetricsSnapshot`] — decide latency,
+    /// drift detections, retrain/rebuild counters, member
+    /// deaths/recoveries, safe-mode periods.
+    pub metrics: MetricsSnapshot,
     /// Switch-on transitions across all computers over the whole run.
     pub(crate) total_switch_ons: u64,
 }
@@ -190,6 +201,13 @@ impl ExperimentLog {
 
 /// Driver: runs a [`ClusterPolicy`] against the simulated cluster fed by
 /// a workload trace and the virtual store.
+///
+/// Since the control-plane split, `Experiment` is one *client* of the
+/// ingest/emit API: it owns the plant side (a [`SimAdapter`] wrapping
+/// [`ClusterSim`] plus the drift/fault injectors), feeds the plane one
+/// [`ModuleObservation`] per module per tick, and actuates the drained
+/// [`Directive`]s back into the simulator — the same loop
+/// `examples/control_plane.rs` runs over a channel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     /// Base sampling period `T_L0` (seconds per tick).
@@ -214,6 +232,310 @@ pub struct Experiment {
     pub faults: Option<FaultPlan>,
 }
 
+/// The plant side of the control-plane loop: wraps the simulator and
+/// translates between its state and the ingest/emit API. `observe`
+/// renders one tick of plant truth — filtered through the drift/fault
+/// injectors, so a blacked-out machine reports blank and a noisy one
+/// reports corrupted sums — as [`ModuleObservation`]s; `actuate` applies
+/// drained [`Directive`]s; `advance_window` injects nothing itself but
+/// runs the plant to the end of the tick's window and banks the realized
+/// stats the *next* observation reports.
+///
+/// [`Experiment::run`] is one user; `examples/control_plane.rs` drives
+/// the same adapter from a separate thread over channels. Both feed the
+/// plane identical streams for identical seeds, which is what the golden
+/// equivalence test pins.
+pub struct SimAdapter {
+    sim: ClusterSim,
+    t_l0: f64,
+    total_ticks: usize,
+    drift: Option<CapacityProfile>,
+    faults: Option<FaultPlan>,
+    applied_scale: f64,
+    blacked_out: Vec<bool>,
+    // A crashed machine is dark the realistic way: it stops reporting
+    // entirely (crash-stop is indistinguishable from a partition), and
+    // the observation stream serves the last state the management plane
+    // saw before the lights went out — not the plant's ground truth.
+    crashed_dark: Vec<bool>,
+    last_state: Vec<PowerState>,
+    last_frequency: Vec<usize>,
+    noise_sigma: Vec<Option<f64>>,
+    // Noise draws come from a dedicated seeded stream so a fault plan
+    // perturbs nothing else.
+    noise_rng: rand::rngs::StdRng,
+    unit_gaussian: Gaussian,
+    prev_comp_stats: Vec<WindowStats>,
+    prev_rejections: Vec<u64>,
+    prev_mod_stats: Vec<WindowStats>,
+    members: Vec<Vec<usize>>,
+}
+
+impl std::fmt::Debug for SimAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimAdapter")
+            .field("t_l0", &self.t_l0)
+            .field("total_ticks", &self.total_ticks)
+            .field("members", &self.members)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimAdapter {
+    /// A fresh plant for `experiment`'s drift/fault schedule, to be
+    /// driven for `total_ticks` base ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault plan references a computer outside the
+    /// cluster.
+    pub fn new(sim_config: ClusterConfig, experiment: &Experiment, total_ticks: usize) -> Self {
+        let sim = ClusterSim::new(sim_config);
+        let num_computers = sim.num_computers();
+        let num_modules = sim.num_modules();
+        if let Some(plan) = &experiment.faults {
+            if let Some(max) = plan.max_computer() {
+                assert!(
+                    max < num_computers,
+                    "fault plan references computer {max}, cluster has {num_computers}"
+                );
+            }
+        }
+        let members: Vec<Vec<usize>> = (0..num_modules)
+            .map(|m| sim.module_members(m).to_vec())
+            .collect();
+        let last_state = (0..num_computers)
+            .map(|i| sim.computer(i).state())
+            .collect();
+        let last_frequency = (0..num_computers)
+            .map(|i| sim.computer(i).frequency_index())
+            .collect();
+        SimAdapter {
+            sim,
+            t_l0: experiment.t_l0,
+            total_ticks,
+            drift: experiment.drift,
+            faults: experiment.faults.clone(),
+            applied_scale: f64::NAN,
+            blacked_out: vec![false; num_computers],
+            crashed_dark: vec![false; num_computers],
+            last_state,
+            last_frequency,
+            noise_sigma: vec![None; num_computers],
+            noise_rng: rand::rngs::StdRng::seed_from_u64(derive_seed(experiment.seed, 0xFA17)),
+            unit_gaussian: Gaussian::new(0.0, 1.0),
+            prev_comp_stats: vec![WindowStats::default(); num_computers],
+            prev_rejections: vec![0u64; num_computers],
+            prev_mod_stats: vec![WindowStats::default(); num_modules],
+            members,
+        }
+    }
+
+    /// Force every computer `On` with uniform weights (the paper's
+    /// figures begin with an operating cluster).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] (cannot occur for a well-formed cluster).
+    pub fn prewarm(&mut self) -> Result<(), SimError> {
+        let num_computers = self.sim.num_computers();
+        let num_modules = self.sim.num_modules();
+        for i in 0..num_computers {
+            self.sim.force_on(i);
+        }
+        self.sim.set_module_weights(&vec![1.0; num_modules])?;
+        for m in 0..num_modules {
+            let len = self.sim.module_members(m).len();
+            self.sim.set_computer_weights(m, &vec![1.0; len])?;
+        }
+        for i in 0..num_computers {
+            self.last_state[i] = self.sim.computer(i).state();
+            self.last_frequency[i] = self.sim.computer(i).frequency_index();
+        }
+        Ok(())
+    }
+
+    /// The topology: global computer indices per module (what
+    /// [`ControlPlane::new`] wants).
+    pub fn members(&self) -> &[Vec<usize>] {
+        &self.members
+    }
+
+    /// The plant being driven.
+    pub fn sim(&self) -> &ClusterSim {
+        &self.sim
+    }
+
+    /// The per-computer stats of the last completed window (what the
+    /// next observation will report, noise aside).
+    pub fn window_stats(&self) -> &[WindowStats] {
+        &self.prev_comp_stats
+    }
+
+    /// Render tick `tick`'s plant state as one observation per module.
+    ///
+    /// Applies the scheduled capacity drift and fault events for the
+    /// tick first, then reports the previous window plus instantaneous
+    /// state: a blacked-out or crashed computer reports a blank window,
+    /// no queue reading (`telemetry_ok = false`) and state/frequency
+    /// frozen at the last healthy values; a noisy one reports
+    /// multiplicatively corrupted response/demand sums; `rejected` is
+    /// dispatcher-side and stays valid through darkness.
+    pub fn observe(&mut self, tick: u64) -> Vec<ModuleObservation> {
+        let num_computers = self.sim.num_computers();
+
+        // Inject plant drift for this window (invisible to the
+        // controllers' telemetry by construction). Only on change:
+        // re-applying an unchanged scale would still re-time every
+        // in-service request and push a fresh departure event per
+        // computer per tick.
+        if let Some(profile) = &self.drift {
+            let scale = profile.scale_at(tick as usize, self.total_ticks);
+            if scale != self.applied_scale {
+                for i in 0..num_computers {
+                    self.sim.set_service_scale(i, scale);
+                }
+                self.applied_scale = scale;
+            }
+        }
+
+        // Fire this tick's scheduled faults: crashes, restarts and
+        // wedged actuators hit the plant; blackout/noise toggles shape
+        // how the observation below is (mis)reported.
+        if let Some(plan) = &self.faults {
+            for event in plan.events_at(tick) {
+                let i = event.computer;
+                match event.kind {
+                    FaultKind::Crash { requeue } => {
+                        self.sim.crash(i, requeue);
+                        self.crashed_dark[i] = true;
+                    }
+                    FaultKind::Restart => {
+                        self.sim.restart(i);
+                        self.crashed_dark[i] = false;
+                    }
+                    FaultKind::BlackoutStart => self.blacked_out[i] = true,
+                    FaultKind::BlackoutEnd => self.blacked_out[i] = false,
+                    FaultKind::NoiseStart { sigma } => self.noise_sigma[i] = Some(sigma),
+                    FaultKind::NoiseEnd => self.noise_sigma[i] = None,
+                    FaultKind::StickActuator => self.sim.set_actuator_stuck(i, true),
+                    FaultKind::UnstickActuator => self.sim.set_actuator_stuck(i, false),
+                }
+            }
+        }
+
+        // Per-computer telemetry in *global index order* — the noise
+        // stream draws in that order, so module grouping must not
+        // reorder it.
+        let telemetry: Vec<MemberTelemetry> = (0..num_computers)
+            .map(|i| {
+                let c = self.sim.computer(i);
+                let dark = self.blacked_out[i] || self.crashed_dark[i];
+                if !dark {
+                    self.last_state[i] = c.state();
+                    self.last_frequency[i] = c.frequency_index();
+                }
+                let mut window = if dark {
+                    WindowStats::default()
+                } else {
+                    self.prev_comp_stats[i]
+                };
+                if let (Some(sigma), false) = (self.noise_sigma[i], dark) {
+                    // Corruption factors are strictly positive and
+                    // finite: garbage, not NaN — estimators must
+                    // survive both.
+                    let corrupt = |x: f64, g: f64| x * (1.0 + sigma * g).max(0.05);
+                    window.response_sum = corrupt(
+                        window.response_sum,
+                        self.unit_gaussian.sample(&mut self.noise_rng),
+                    );
+                    window.demand_sum = corrupt(
+                        window.demand_sum,
+                        self.unit_gaussian.sample(&mut self.noise_rng),
+                    );
+                }
+                MemberTelemetry {
+                    member: usize::MAX, // patched to the module position below
+                    queue: if dark { 0 } else { c.queue_length() },
+                    window,
+                    state: self.last_state[i],
+                    frequency_index: self.last_frequency[i],
+                    telemetry_ok: !dark,
+                    // Router-side, so *not* blanked when the machine is
+                    // dark: the dispatcher knows its failed sends even
+                    // when the target is silent.
+                    rejected: self.prev_rejections[i],
+                }
+            })
+            .collect();
+        let mut telemetry: Vec<Option<MemberTelemetry>> = telemetry.into_iter().map(Some).collect();
+
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(m, module)| ModuleObservation {
+                module: m,
+                tick,
+                members: module
+                    .iter()
+                    .enumerate()
+                    .map(|(position, &i)| {
+                        let mut t = telemetry[i].take().expect("each computer in one module");
+                        t.member = position;
+                        t
+                    })
+                    .collect(),
+                arrivals: self.prev_mod_stats[m].arrivals,
+                dropped: self.prev_mod_stats[m].dropped,
+            })
+            .collect()
+    }
+
+    /// Apply drained directives to the plant in emission order
+    /// (informational directives are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from malformed weight vectors.
+    pub fn actuate(&mut self, directives: &[Directive]) -> Result<(), SimError> {
+        for directive in directives {
+            match directive.to_action() {
+                Some(Action::PowerOn(i)) => self.sim.power_on(i),
+                Some(Action::PowerOff(i)) => self.sim.power_off(i),
+                Some(Action::SetFrequency(i, f)) => self.sim.set_frequency(i, f),
+                Some(Action::SetModuleWeights(w)) => self.sim.set_module_weights(&w)?,
+                Some(Action::SetComputerWeights(m, w)) => self.sim.set_computer_weights(m, &w)?,
+                None => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedule one request arriving at absolute time `at` with service
+    /// demand `demand`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] for arrivals in the past.
+    pub fn schedule_arrival(&mut self, at: f64, demand: f64) -> Result<(), SimError> {
+        self.sim.schedule_arrival(at, demand)
+    }
+
+    /// Run the plant to the end of tick `tick`'s window and bank the
+    /// realized stats for the next observation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] (cannot occur in a well-formed run).
+    pub fn advance_window(&mut self, tick: u64) -> Result<(), SimError> {
+        self.sim.run_until((tick + 1) as f64 * self.t_l0)?;
+        self.prev_comp_stats = self.sim.drain_computer_stats();
+        self.prev_mod_stats = self.sim.drain_module_stats();
+        self.prev_rejections = self.sim.drain_dispatch_rejections();
+        Ok(())
+    }
+}
+
 impl Experiment {
     /// Paper-default driver: 30 s ticks, pre-warmed cluster, `r* = 4 s`.
     pub fn paper_default(seed: u64) -> Self {
@@ -230,6 +552,11 @@ impl Experiment {
     /// Run `policy` against a cluster built from `sim_config`, driven by
     /// `trace` (arrivals per bucket; rebucketed to the tick length) with
     /// request bodies drawn from `store`.
+    ///
+    /// The loop is the canonical control-plane client: observe the
+    /// plant through a [`SimAdapter`], ingest into a [`ControlPlane`],
+    /// step, drain and actuate the directives, advance the plant one
+    /// window.
     ///
     /// # Errors
     ///
@@ -249,196 +576,57 @@ impl Experiment {
         let ticks_trace = trace
             .rebucket(self.t_l0)
             .expect("trace bucket width must be an integer ratio of t_l0");
-        let mut sim = ClusterSim::new(sim_config);
-        let num_computers = sim.num_computers();
-        let num_modules = sim.num_modules();
-
+        let total_ticks = ticks_trace.len();
+        let mut adapter = SimAdapter::new(sim_config, self, total_ticks);
         if self.prewarmed {
-            for i in 0..num_computers {
-                sim.force_on(i);
-            }
-            sim.set_module_weights(&vec![1.0; num_modules])?;
-            for m in 0..num_modules {
-                let len = sim.module_members(m).len();
-                sim.set_computer_weights(m, &vec![1.0; len])?;
-            }
+            adapter.prewarm()?;
         }
+        let num_computers = adapter.sim().num_computers();
 
         let mut sampler = RequestSampler::paper_default(store, self.seed);
         let mut spread_rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, 0xA121));
         let mut log = ExperimentLog {
             policy: policy.name().to_string(),
             response_target: self.response_target,
-            ticks: Vec::with_capacity(ticks_trace.len()),
+            ticks: Vec::with_capacity(total_ticks),
+            directives: Vec::new(),
+            metrics: MetricsSnapshot::default(),
             total_switch_ons: 0,
         };
 
-        // Previous-window stats start empty.
-        let mut prev_comp_stats = vec![llc_sim::WindowStats::default(); num_computers];
-        let mut prev_rejections = vec![0u64; num_computers];
-        let mut prev_mod_stats = vec![llc_sim::WindowStats::default(); num_modules];
-
-        // Fault-injection state: which computers are currently dark or
-        // reporting noisy sensors. Noise draws come from a dedicated
-        // seeded stream so a fault plan perturbs nothing else.
-        if let Some(plan) = &self.faults {
-            if let Some(max) = plan.max_computer() {
-                assert!(
-                    max < num_computers,
-                    "fault plan references computer {max}, cluster has {num_computers}"
-                );
-            }
-        }
-        let mut blacked_out = vec![false; num_computers];
-        // A crashed machine is dark the realistic way: it stops
-        // reporting entirely (crash-stop is indistinguishable from a
-        // partition), and the observation stream serves the last state
-        // the management plane saw before the lights went out — not the
-        // plant's ground truth.
-        let mut crashed_dark = vec![false; num_computers];
-        let mut last_state: Vec<llc_sim::PowerState> = (0..num_computers)
-            .map(|i| sim.computer(i).state())
-            .collect();
-        let mut last_frequency: Vec<usize> = (0..num_computers)
-            .map(|i| sim.computer(i).frequency_index())
-            .collect();
-        let mut noise_sigma: Vec<Option<f64>> = vec![None; num_computers];
-        let mut noise_rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, 0xFA17));
-        let unit_gaussian = Gaussian::new(0.0, 1.0);
-
-        let total_ticks = ticks_trace.len();
-        let mut applied_scale = f64::NAN;
+        let mut plane = ControlPlane::new(policy, adapter.members().to_vec(), self.t_l0);
         for tick in 0..total_ticks as u64 {
             let t = tick as f64 * self.t_l0;
 
-            // 0. Inject plant drift for this window (invisible to the
-            // controllers' telemetry by construction). Only on change:
-            // re-applying an unchanged scale would still re-time every
-            // in-service request and push a fresh departure event per
-            // computer per tick.
-            if let Some(profile) = &self.drift {
-                let scale = profile.scale_at(tick as usize, total_ticks);
-                if scale != applied_scale {
-                    for i in 0..num_computers {
-                        sim.set_service_scale(i, scale);
-                    }
-                    applied_scale = scale;
-                }
+            // 1. Observe: previous window + instantaneous state, one
+            // observation per module, through the drift/fault filters.
+            for observation in adapter.observe(tick) {
+                plane
+                    .ingest(observation)
+                    .expect("lockstep stream is in-order and well-formed");
             }
-
-            // 0b. Fire this tick's scheduled faults: crashes, restarts
-            // and wedged actuators hit the plant; blackout/noise toggles
-            // shape how the observation below is (mis)reported.
-            if let Some(plan) = &self.faults {
-                for event in plan.events_at(tick) {
-                    let i = event.computer;
-                    match event.kind {
-                        FaultKind::Crash { requeue } => {
-                            sim.crash(i, requeue);
-                            crashed_dark[i] = true;
-                        }
-                        FaultKind::Restart => {
-                            sim.restart(i);
-                            crashed_dark[i] = false;
-                        }
-                        FaultKind::BlackoutStart => blacked_out[i] = true,
-                        FaultKind::BlackoutEnd => blacked_out[i] = false,
-                        FaultKind::NoiseStart { sigma } => noise_sigma[i] = Some(sigma),
-                        FaultKind::NoiseEnd => noise_sigma[i] = None,
-                        FaultKind::StickActuator => sim.set_actuator_stuck(i, true),
-                        FaultKind::UnstickActuator => sim.set_actuator_stuck(i, false),
-                    }
-                }
-            }
-
-            // 1. Observe: previous window + instantaneous state. A
-            // blacked-out computer reports a blank window and no queue
-            // reading (`telemetry_ok = false`); a noisy one reports
-            // multiplicatively corrupted response/demand sums.
-            let computers: Vec<ComputerObs> = (0..num_computers)
-                .map(|i| {
-                    let c = sim.computer(i);
-                    let module = (0..num_modules)
-                        .find(|&m| sim.module_members(m).contains(&i))
-                        .expect("every computer belongs to a module");
-                    let dark = blacked_out[i] || crashed_dark[i];
-                    if !dark {
-                        last_state[i] = c.state();
-                        last_frequency[i] = c.frequency_index();
-                    }
-                    let mut window = if dark {
-                        llc_sim::WindowStats::default()
-                    } else {
-                        prev_comp_stats[i]
-                    };
-                    if let (Some(sigma), false) = (noise_sigma[i], dark) {
-                        // Corruption factors are strictly positive and
-                        // finite: garbage, not NaN — estimators must
-                        // survive both.
-                        let corrupt = |x: f64, g: f64| x * (1.0 + sigma * g).max(0.05);
-                        window.response_sum =
-                            corrupt(window.response_sum, unit_gaussian.sample(&mut noise_rng));
-                        window.demand_sum =
-                            corrupt(window.demand_sum, unit_gaussian.sample(&mut noise_rng));
-                    }
-                    ComputerObs {
-                        index: i,
-                        module,
-                        queue: if dark { 0 } else { c.queue_length() },
-                        window,
-                        state: last_state[i],
-                        frequency_index: last_frequency[i],
-                        telemetry_ok: !dark,
-                        // Router-side, so *not* blanked when the machine
-                        // is dark: the dispatcher knows its failed sends
-                        // even when the target is silent.
-                        rejected: prev_rejections[i],
-                    }
-                })
-                .collect();
-            let modules: Vec<ModuleObs> = (0..num_modules)
-                .map(|m| ModuleObs {
-                    index: m,
-                    arrivals: prev_mod_stats[m].arrivals,
-                    dropped: prev_mod_stats[m].dropped,
-                })
-                .collect();
-            let obs = Observations {
-                tick,
-                time: t,
-                computers,
-                modules,
-            };
 
             // 2. Decide and actuate.
-            let started = Instant::now();
-            let actions = policy.decide(&obs);
-            let decision_time = started.elapsed();
-            for action in actions {
-                match action {
-                    Action::PowerOn(i) => sim.power_on(i),
-                    Action::PowerOff(i) => sim.power_off(i),
-                    Action::SetFrequency(i, f) => sim.set_frequency(i, f),
-                    Action::SetModuleWeights(w) => sim.set_module_weights(&w)?,
-                    Action::SetComputerWeights(m, w) => sim.set_computer_weights(m, &w)?,
-                }
-            }
+            debug_assert!(plane.ready(), "every module reported");
+            let report = plane.step();
+            let directives = plane.drain_directives();
+            adapter.actuate(&directives)?;
+            log.directives.extend(directives);
 
             // 3. Inject this window's arrivals and advance the plant.
             let count = ticks_trace.count(tick as usize).round().max(0.0) as usize;
             let times = spread_arrivals(&mut spread_rng, t, self.t_l0, count);
             for at in times {
                 let (_, demand) = sampler.next_request();
-                sim.schedule_arrival(at, demand)?;
+                adapter.schedule_arrival(at, demand)?;
             }
-            sim.run_until(t + self.t_l0)?;
+            adapter.advance_window(tick)?;
 
-            // 4. Drain window stats and record.
-            prev_comp_stats = sim.drain_computer_stats();
-            prev_mod_stats = sim.drain_module_stats();
-            prev_rejections = sim.drain_dispatch_rejections();
-            let completions: u64 = prev_comp_stats.iter().map(|w| w.completions).sum();
-            let response_sum: f64 = prev_comp_stats.iter().map(|w| w.response_sum).sum();
+            // 4. Record.
+            let sim = adapter.sim();
+            let stats = adapter.window_stats();
+            let completions: u64 = stats.iter().map(|w| w.completions).sum();
+            let response_sum: f64 = stats.iter().map(|w| w.response_sum).sum();
             log.ticks.push(TickRecord {
                 tick,
                 time: t,
@@ -453,7 +641,7 @@ impl Experiment {
                 frequency_indices: (0..num_computers)
                     .map(|i| sim.computer(i).frequency_index())
                     .collect(),
-                computer_responses: prev_comp_stats.iter().map(|w| w.mean_response()).collect(),
+                computer_responses: stats.iter().map(|w| w.mean_response()).collect(),
                 queue_total: (0..num_computers)
                     .map(|i| sim.computer(i).queue_length())
                     .sum(),
@@ -465,13 +653,14 @@ impl Experiment {
                     .collect(),
                 energy: sim.total_energy(),
                 dropped: sim.dropped(),
-                decision_time,
+                decision_time: report.decide_time,
             });
         }
 
         log.total_switch_ons = (0..num_computers)
-            .map(|i| sim.computer(i).switch_ons())
+            .map(|i| adapter.sim().computer(i).switch_ons())
             .sum();
+        log.metrics = plane.metrics();
         Ok(log)
     }
 }
@@ -480,6 +669,7 @@ impl Experiment {
 mod tests {
     use super::*;
     use crate::baselines::AlwaysMaxPolicy;
+    use crate::policy::{Action, Observations};
     use llc_workload::Trace;
 
     fn tiny_cluster() -> ClusterConfig {
@@ -513,6 +703,16 @@ mod tests {
         assert!(s.violation_fraction < 0.05);
         assert!(s.total_completions > 5_500);
         assert!(s.total_energy > 0.0);
+        // The run went through the control plane: the log carries its
+        // metrics and the emitted directives.
+        assert_eq!(log.metrics.ticks_decided, 20);
+        assert_eq!(log.metrics.observations_ingested, 20);
+        assert_eq!(log.metrics.dark_filled_members, 0);
+        assert_eq!(
+            log.metrics.directives_emitted as usize,
+            log.directives.len()
+        );
+        assert!(!log.directives.is_empty());
     }
 
     #[test]
@@ -554,6 +754,7 @@ mod tests {
             assert_eq!(a.mean_response, b.mean_response);
             assert_eq!(a.energy, b.energy);
         }
+        assert_eq!(l1.directives, l2.directives);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::control::{Cadence, PolicyMetrics};
 use crate::l1::{
     AbstractionMap, GEntry, L1Config, L1Controller, L1Decision, LearnSpec, MapBackend, MemberSpec,
 };
@@ -159,7 +160,7 @@ impl ClosedLoop {
 }
 
 /// Knobs of the churn watchdog (see
-/// [`HierarchicalPolicy::enable_fault_tolerance`]).
+/// [`crate::PolicyBuilder::fault_tolerance`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultToleranceConfig {
     /// Consecutive suspect observation windows (telemetry lost, or found
@@ -219,10 +220,13 @@ struct FaultTolerance {
     deaths: u64,
     recoveries: u64,
     safe_mode_periods: u64,
+    /// Safe-mode posture per module as of the last L1 tick (the
+    /// current-state view behind `PolicyMetrics::safe_mode_active`).
+    safe_now: Vec<bool>,
 }
 
 impl FaultTolerance {
-    fn new(cfg: FaultToleranceConfig, computers: usize) -> Self {
+    fn new(cfg: FaultToleranceConfig, computers: usize, modules: usize) -> Self {
         FaultTolerance {
             cfg,
             missed: vec![0; computers],
@@ -233,6 +237,7 @@ impl FaultTolerance {
             deaths: 0,
             recoveries: 0,
             safe_mode_periods: 0,
+            safe_now: vec![false; modules],
         }
     }
 }
@@ -274,10 +279,9 @@ pub struct HierarchicalPolicy {
     members: Vec<Vec<usize>>,
     /// Prior mean local processing time per module (c_factor reference).
     module_c_priors: Vec<f64>,
-    /// T_L1 / T_L0.
-    l1_every: u64,
-    /// T_L2 / T_L0.
-    l2_every: u64,
+    /// Slow-level tick cadence (`T_L1/T_L0`, `T_L2/T_L0`), the period
+    /// bookkeeping shared with the control-plane driver.
+    cadence: Cadence,
     // Accumulators between slow-level ticks.
     module_arrivals_acc: Vec<u64>,
     global_arrivals_acc: u64,
@@ -290,6 +294,8 @@ pub struct HierarchicalPolicy {
     overhead: [LevelOverhead; 3],
     /// L2→L1 feed-forward of the decided split (from `L2Config`).
     feed_forward: bool,
+    /// Feed-forward events fired so far (metrics surface).
+    feed_forward_events: u64,
     /// The split in force (tracks re-splits for the feed-forward).
     last_gamma: Option<Vec<f64>>,
     /// In-hierarchy feedback state, present once a closed-loop mode is
@@ -302,11 +308,11 @@ pub struct HierarchicalPolicy {
     learn: LearnSpec,
     module_learn: ModuleLearnSpec,
     map_backend: MapBackend,
-    /// The retrain consumer, present once
-    /// [`HierarchicalPolicy::enable_retrain`] has been called.
+    /// The retrain consumer, present once retraining is configured
+    /// (see [`crate::PolicyBuilder::retrain`]).
     retrain: Option<RetrainManager>,
-    /// Churn watchdog, present once
-    /// [`HierarchicalPolicy::enable_fault_tolerance`] has been called.
+    /// Churn watchdog, present once fault tolerance is configured
+    /// (see [`crate::PolicyBuilder::fault_tolerance`]).
     fault_tolerance: Option<FaultTolerance>,
 }
 
@@ -388,8 +394,7 @@ impl HierarchicalPolicy {
             None
         };
 
-        let l1_every = (scenario.l1.period / scenario.l0.period).round() as u64;
-        let l2_every = (scenario.l2.period / scenario.l0.period).round() as u64;
+        let cadence = Cadence::from_configs(&scenario.l0, &scenario.l1, &scenario.l2);
         let num_modules = members.len();
         let num_computers = l0s.len();
         HierarchicalPolicy {
@@ -398,8 +403,7 @@ impl HierarchicalPolicy {
             l2,
             members,
             module_c_priors,
-            l1_every: l1_every.max(1),
-            l2_every: l2_every.max(1),
+            cadence,
             module_arrivals_acc: vec![0; num_modules],
             global_arrivals_acc: 0,
             member_demand_sum: vec![0.0; num_computers],
@@ -408,6 +412,7 @@ impl HierarchicalPolicy {
             gamma_module_history: Vec::new(),
             overhead: [LevelOverhead::default(); 3],
             feed_forward: scenario.l2.feed_forward,
+            feed_forward_events: 0,
             last_gamma: None,
             closed_loop: None,
             l0_config: scenario.l0,
@@ -437,12 +442,17 @@ impl HierarchicalPolicy {
     ///
     /// Panics on out-of-range knobs (see
     /// [`FaultToleranceConfig::validated`]).
+    #[deprecated(note = "configure via PolicyBuilder::fault_tolerance")]
     pub fn enable_fault_tolerance(&mut self, cfg: FaultToleranceConfig) {
-        let cfg = cfg.validated();
-        self.fault_tolerance = Some(FaultTolerance::new(cfg, self.l0s.len()));
+        self.set_fault_tolerance(cfg);
     }
 
-    /// `true` once [`HierarchicalPolicy::enable_fault_tolerance`] is on.
+    pub(crate) fn set_fault_tolerance(&mut self, cfg: FaultToleranceConfig) {
+        let cfg = cfg.validated();
+        self.fault_tolerance = Some(FaultTolerance::new(cfg, self.l0s.len(), self.l1s.len()));
+    }
+
+    /// `true` once the churn watchdog is configured.
     pub fn fault_tolerance_enabled(&self) -> bool {
         self.fault_tolerance.is_some()
     }
@@ -486,7 +496,12 @@ impl HierarchicalPolicy {
     /// # Panics
     ///
     /// Panics on out-of-range knobs (see [`OnlineConfig::validated`]).
+    #[deprecated(note = "configure via PolicyBuilder::closed_loop")]
     pub fn enable_closed_loop(&mut self, cfg: OnlineConfig) {
+        self.set_closed_loop(cfg);
+    }
+
+    pub(crate) fn set_closed_loop(&mut self, cfg: OnlineConfig) {
         let cfg = cfg.validated();
         // Unconditional: `cfg` defines the whole loop's knobs. Re-enabling
         // an already-online controller resets its pending log and
@@ -517,6 +532,10 @@ impl HierarchicalPolicy {
     ///
     /// Panics on out-of-range knobs (see [`OnlineConfig::validated`]).
     pub fn enable_outcome_tracking(&mut self, cfg: OnlineConfig) {
+        self.set_outcome_tracking(cfg);
+    }
+
+    pub(crate) fn set_outcome_tracking(&mut self, cfg: OnlineConfig) {
         let cfg = cfg.validated();
         self.closed_loop = Some(ClosedLoop::new(
             ClosedLoopMode::Observe,
@@ -567,8 +586,8 @@ impl HierarchicalPolicy {
     /// stopped being local (see `llc_core::DriftDetector`): incremental
     /// blending is patching a model that is wrong everywhere, and an
     /// offline re-train ([`HierarchicalPolicy::build`]) should be
-    /// scheduled. Consumed automatically once
-    /// [`HierarchicalPolicy::enable_retrain`] is on; callers driving
+    /// scheduled. Consumed automatically once the retrain consumer is
+    /// configured ([`crate::PolicyBuilder::retrain`]); callers driving
     /// their own rebuild should release the latch with
     /// [`HierarchicalPolicy::acknowledge_retrain`] after scheduling it.
     pub fn retrain_recommended(&self) -> bool {
@@ -596,13 +615,18 @@ impl HierarchicalPolicy {
     /// telemetry, and the hierarchy hot-swaps them in exactly one L1
     /// period later — detect → latch → rebuild → hot-swap → reset, with
     /// `cfg`'s cooldown and budget guarding against rebuild thrash.
-    /// Meaningful together with [`HierarchicalPolicy::enable_closed_loop`]
+    /// Meaningful together with [`crate::PolicyBuilder::closed_loop`]
     /// (the latch is raised by the online learning path).
     ///
     /// # Panics
     ///
     /// Panics on out-of-range knobs (see [`RetrainConfig::validated`]).
+    #[deprecated(note = "configure via PolicyBuilder::retrain")]
     pub fn enable_retrain(&mut self, cfg: RetrainConfig) {
+        self.set_retrain(cfg);
+    }
+
+    pub(crate) fn set_retrain(&mut self, cfg: RetrainConfig) {
         self.retrain = Some(RetrainManager::new(cfg));
     }
 
@@ -671,7 +695,7 @@ impl HierarchicalPolicy {
         let Some(manager) = self.retrain.as_ref() else {
             return;
         };
-        let cooldown = manager.config().cooldown_periods * self.l1_every;
+        let cooldown = manager.config().cooldown_periods * self.cadence.l1_every;
         if !manager.can_trigger(tick, cooldown) {
             return;
         }
@@ -721,10 +745,12 @@ impl HierarchicalPolicy {
             module_learn: self.module_learn,
             backend: self.map_backend,
         };
-        self.retrain
-            .as_mut()
-            .expect("checked above")
-            .spawn(jobs, ctx, tick, tick + self.l1_every);
+        self.retrain.as_mut().expect("checked above").spawn(
+            jobs,
+            ctx,
+            tick,
+            tick + self.cadence.l1_every,
+        );
     }
 
     /// Number of computers managed.
@@ -735,6 +761,12 @@ impl HierarchicalPolicy {
     /// Number of modules managed.
     pub fn num_modules(&self) -> usize {
         self.l1s.len()
+    }
+
+    /// The topology: global computer indices per module — what a
+    /// [`crate::ControlPlane`] routes observations by.
+    pub fn module_members(&self) -> &[Vec<usize>] {
+        &self.members
     }
 
     /// Number of operating (α = 1) computers decided at each L1 tick —
@@ -972,7 +1004,7 @@ impl ClusterPolicy for HierarchicalPolicy {
         }
 
         // --- L2: split global load over modules (top-down first). ---
-        if obs.tick.is_multiple_of(self.l2_every) {
+        if self.cadence.is_l2_tick(obs.tick) {
             if let Some(l2) = self.l2.as_mut() {
                 let started = Instant::now();
                 l2.observe(self.global_arrivals_acc);
@@ -987,11 +1019,11 @@ impl ClusterPolicy for HierarchicalPolicy {
                     if let (ClosedLoopMode::Learn, Some(snapshot)) =
                         (cl.mode, cl.l2_snapshot.as_ref())
                     {
-                        let period = self.l2_every as f64 * self.l0s[0].config().period;
+                        let period = self.cadence.l2_every as f64 * self.l0s[0].config().period;
                         for (m, state) in snapshot.iter().enumerate() {
                             let lambda = cl.module_arrivals[m] as f64 / period;
-                            let realized =
-                                cl.module_cost_acc[m] * self.l1_every as f64 / self.l2_every as f64;
+                            let realized = cl.module_cost_acc[m] * self.cadence.l1_every as f64
+                                / self.cadence.l2_every as f64;
                             l2.record_outcome(m, lambda, *state, realized);
                         }
                         l2.learn_online();
@@ -1048,6 +1080,7 @@ impl ClusterPolicy for HierarchicalPolicy {
                         {
                             if (new - old).abs() > 1e-9 {
                                 self.l1s[m].feed_forward_lambda(new * lambda_g);
+                                self.feed_forward_events += 1;
                             }
                         }
                     }
@@ -1070,7 +1103,7 @@ impl ClusterPolicy for HierarchicalPolicy {
         }
 
         // --- L1: per-module α and γ. ---
-        if obs.tick.is_multiple_of(self.l1_every) {
+        if self.cadence.is_l1_tick(obs.tick) {
             // Hot-swap a finished background rebuild in *before* this
             // round of decisions, so the fresh maps serve immediately.
             self.apply_ready_retrain(obs.tick);
@@ -1110,7 +1143,7 @@ impl ClusterPolicy for HierarchicalPolicy {
                 // module's abstraction maps before deciding on them.
                 if let Some(cl) = self.closed_loop.as_mut() {
                     if cl.have_snapshot {
-                        let period = self.l1_every as f64 * self.l0s[0].config().period;
+                        let period = self.cadence.l1_every as f64 * self.l0s[0].config().period;
                         let cs = self.l1s[m].c_estimates();
                         for (pos, &i) in self.members[m].iter().enumerate() {
                             // A period in which the dispatcher's sends to
@@ -1129,7 +1162,7 @@ impl ClusterPolicy for HierarchicalPolicy {
                             }
                             let lambda = cl.window_acc[i].arrivals as f64 / period;
                             let entry = GEntry {
-                                cost: cl.cost_acc[i] / self.l1_every as f64,
+                                cost: cl.cost_acc[i] / self.cadence.l1_every as f64,
                                 power: cl.window_acc[i].energy / period,
                                 final_q: obs.computers[i].queue as f64,
                             };
@@ -1201,6 +1234,9 @@ impl ClusterPolicy for HierarchicalPolicy {
                     ((healthy as f64) < quorum * live_count as f64)
                         || (any_dead && self.retrain.as_ref().is_some_and(|r| r.pending()))
                 };
+                if let Some(ft) = self.fault_tolerance.as_mut() {
+                    ft.safe_now[m] = safe_mode;
+                }
                 let decision = if live_count == 0 {
                     // Every member is dead: nothing to decide, route and
                     // order nothing, wait for a rejoin.
@@ -1390,6 +1426,43 @@ impl ClusterPolicy for HierarchicalPolicy {
     fn name(&self) -> &str {
         "hierarchical-llc"
     }
+
+    fn cadence(&self) -> Cadence {
+        self.cadence
+    }
+
+    fn metrics(&self) -> PolicyMetrics {
+        PolicyMetrics {
+            online_updates: self.online_updates(),
+            map_drift_detections: self
+                .l1s
+                .iter()
+                .map(|l| l.member_drift_detections())
+                .collect(),
+            model_drift_detections: self
+                .l2
+                .as_ref()
+                .map_or_else(Vec::new, |l2| l2.module_drift_detections()),
+            tracking_error: self.tracking_error(),
+            tracking_samples: self.tracking_samples(),
+            retrain_triggers: self.retrain.as_ref().map_or(0, |r| r.triggers()),
+            rebuilds: self.retrain.as_ref().map_or(0, |r| r.rebuilds() as u64),
+            retrain_pending: self.retrain_pending(),
+            member_deaths: self.member_deaths(),
+            member_recoveries: self.member_recoveries(),
+            members_dead: self
+                .fault_tolerance
+                .as_ref()
+                .map_or_else(Vec::new, |ft| ft.dead.clone()),
+            safe_mode_periods: self.safe_mode_periods(),
+            safe_mode_active: self
+                .fault_tolerance
+                .as_ref()
+                .map_or_else(Vec::new, |ft| ft.safe_now.clone()),
+            feed_forward_events: self.feed_forward_events,
+            level_overhead: self.overhead,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1499,7 +1572,7 @@ mod tests {
     fn watchdog_declares_blacked_out_member_dead_then_recovers_it() {
         let scenario = single_module(2).with_coarse_learning();
         let mut policy = HierarchicalPolicy::build(&scenario);
-        policy.enable_fault_tolerance(FaultToleranceConfig::default());
+        policy.set_fault_tolerance(FaultToleranceConfig::default());
         let _ = policy.decide(&obs_for(&policy, 0, 3000));
         // Three consecutive dark windows: declared dead at the third.
         for t in 1..4 {
@@ -1539,7 +1612,7 @@ mod tests {
     fn watchdog_declares_crashed_member_dead() {
         let scenario = single_module(2).with_coarse_learning();
         let mut policy = HierarchicalPolicy::build(&scenario);
-        policy.enable_fault_tolerance(FaultToleranceConfig::default());
+        policy.set_fault_tolerance(FaultToleranceConfig::default());
         // Heavy load so the L1 wants both machines on.
         for t in 0..9 {
             let _ = policy.decide(&obs_for(&policy, t, 3000));
@@ -1568,7 +1641,7 @@ mod tests {
     fn telemetry_quorum_loss_falls_back_to_safe_mode() {
         let scenario = single_module(4).with_coarse_learning();
         let mut policy = HierarchicalPolicy::build(&scenario);
-        policy.enable_fault_tolerance(FaultToleranceConfig {
+        policy.set_fault_tolerance(FaultToleranceConfig {
             suspect_after: 10, // stay in the suspect (pre-death) regime
             ..FaultToleranceConfig::default()
         });

@@ -801,6 +801,15 @@ impl L1Controller {
             .map_or(0, |o| o.detectors.iter().map(|d| d.detections()).sum())
     }
 
+    /// Drift detections fired per member (position order) — the
+    /// per-learner resolution of the metrics surface. Empty while
+    /// online learning is off.
+    pub fn member_drift_detections(&self) -> Vec<u64> {
+        self.online.as_ref().map_or_else(Vec::new, |o| {
+            o.detectors.iter().map(|d| d.detections()).collect()
+        })
+    }
+
     /// Observations blended at the fast re-convergence rate so far.
     pub fn fast_updates(&self) -> u64 {
         self.online.as_ref().map_or(0, |o| o.fast_applied)

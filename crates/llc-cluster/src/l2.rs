@@ -645,6 +645,15 @@ impl L2Controller {
             .map_or(0, |o| o.detectors.iter().map(|d| d.detections()).sum())
     }
 
+    /// Drift detections fired per module cost model — the per-learner
+    /// resolution of the metrics surface. Empty while online learning
+    /// is off.
+    pub fn module_drift_detections(&self) -> Vec<u64> {
+        self.online.as_ref().map_or_else(Vec::new, |o| {
+            o.detectors.iter().map(|d| d.detections()).collect()
+        })
+    }
+
     /// `true` once any module's detector reports that residuals stopped
     /// being local (an offline re-train should be scheduled).
     pub fn retrain_recommended(&self) -> bool {

@@ -29,8 +29,10 @@
 #![warn(missing_docs)]
 
 mod baselines;
+mod builder;
 mod centralized;
 mod config;
+mod control;
 mod experiment;
 mod hierarchy;
 mod l0;
@@ -41,11 +43,17 @@ mod profiles;
 mod retrain;
 
 pub use baselines::{AlwaysMaxPolicy, ThresholdConfig, ThresholdPolicy};
+pub use builder::PolicyBuilder;
 pub use centralized::{joint_candidate_count, CentralizedConfig, CentralizedPolicy};
 pub use config::{
     cluster_of, module_of_four, paper_cluster_16, paper_cluster_20, single_module, ScenarioConfig,
 };
-pub use experiment::{Experiment, ExperimentLog, ExperimentSummary, TickRecord};
+pub use control::{
+    Cadence, ControlPlane, Directive, DirectiveEmit, DirectiveKind, IngestError, LatencyStats,
+    Level, MemberTelemetry, MetricsSnapshot, ModuleObservation, ObservationIngest, PolicyMetrics,
+    StepReport,
+};
+pub use experiment::{Experiment, ExperimentLog, ExperimentSummary, SimAdapter, TickRecord};
 pub use hierarchy::{
     ClosedLoopMode, FaultToleranceConfig, HierarchicalPolicy, LevelOverhead, RealizedOutcome,
 };

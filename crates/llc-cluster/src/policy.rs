@@ -1,3 +1,4 @@
+use crate::control::{Cadence, PolicyMetrics};
 use llc_sim::{PowerState, WindowStats};
 
 /// Per-computer observation for one base (`T_L0`) tick.
@@ -109,6 +110,38 @@ pub trait ClusterPolicy {
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
+
+    /// The tick cadence of the policy's slow levels, used by the
+    /// control-plane driver to stamp directive epochs. A flat policy
+    /// (the default) decides everything every base tick.
+    fn cadence(&self) -> Cadence {
+        Cadence::base()
+    }
+
+    /// The policy's operational counters for the metrics surface. The
+    /// default reports nothing — appropriate for baselines with no
+    /// learners, watchdogs or retrain machinery.
+    fn metrics(&self) -> PolicyMetrics {
+        PolicyMetrics::default()
+    }
+}
+
+/// Forwarding impl so a control plane can borrow a policy it does not
+/// own (e.g. [`crate::Experiment`] driving `&mut dyn ClusterPolicy`
+/// through a [`crate::ControlPlane`]).
+impl<T: ClusterPolicy + ?Sized> ClusterPolicy for &mut T {
+    fn decide(&mut self, obs: &Observations) -> Vec<Action> {
+        (**self).decide(obs)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn cadence(&self) -> Cadence {
+        (**self).cadence()
+    }
+    fn metrics(&self) -> PolicyMetrics {
+        (**self).metrics()
+    }
 }
 
 #[cfg(test)]

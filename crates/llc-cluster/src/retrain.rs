@@ -181,6 +181,13 @@ impl RetrainManager {
         self.history.len()
     }
 
+    /// Rebuild triggers fired so far: completed rebuilds plus one in
+    /// flight, if any. A trigger without a matching rebuild means a
+    /// background job is still running toward its swap point.
+    pub fn triggers(&self) -> u64 {
+        self.history.len() as u64 + u64::from(self.pending.is_some())
+    }
+
     /// The completed rebuilds, oldest first.
     pub fn history(&self) -> &[RebuildRecord] {
         &self.history

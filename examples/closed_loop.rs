@@ -1,13 +1,13 @@
 //! The closed loop end to end: the full event-driven hierarchy against
 //! the simulated plant losing 35% of its capacity mid-run, with zero
-//! harness-side learning code — `enable_closed_loop` makes the policy
+//! harness-side learning code — `PolicyBuilder::closed_loop` makes the policy
 //! derive realized per-member outcomes from its own telemetry, absorb
 //! them into its abstraction maps, and switch its learning rate when the
 //! drift detector fires.
 //!
 //! Run with: `cargo run --release -p llc-examples --example closed_loop`
 
-use llc_cluster::{single_module, Experiment, HierarchicalPolicy};
+use llc_cluster::{single_module, Experiment, PolicyBuilder};
 use llc_core::OnlineConfig;
 use llc_workload::{CapacityProfile, DiurnalShape, SyntheticBuilder, VirtualStore};
 
@@ -30,12 +30,13 @@ fn main() {
 
     let mut arms = Vec::new();
     for closed in [false, true] {
-        let mut policy = HierarchicalPolicy::build(&scenario);
-        if closed {
-            policy.enable_closed_loop(OnlineConfig::default());
+        let builder = PolicyBuilder::new(scenario.clone());
+        let mut policy = if closed {
+            builder.closed_loop(OnlineConfig::default())
         } else {
-            policy.enable_outcome_tracking(OnlineConfig::default());
+            builder.outcome_tracking(OnlineConfig::default())
         }
+        .build();
         let exp = Experiment {
             drift: Some(drift),
             ..Experiment::paper_default(9)

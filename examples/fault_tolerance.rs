@@ -20,9 +20,7 @@
 //!
 //! Run with: `cargo run --release -p llc-examples --example fault_tolerance`
 
-use llc_cluster::{
-    single_module, Experiment, FaultToleranceConfig, HierarchicalPolicy, ScenarioConfig,
-};
+use llc_cluster::{single_module, Experiment, FaultToleranceConfig, PolicyBuilder, ScenarioConfig};
 use llc_core::OnlineConfig;
 use llc_workload::{fault_scenarios, VirtualStore};
 
@@ -47,11 +45,11 @@ fn main() {
         let mut maes = Vec::new();
         let mut stats = (0u64, 0u64, 0u64);
         for tolerant in [false, true] {
-            let mut policy = HierarchicalPolicy::build(&scenario());
-            policy.enable_closed_loop(OnlineConfig::default());
+            let mut builder = PolicyBuilder::new(scenario()).closed_loop(OnlineConfig::default());
             if tolerant {
-                policy.enable_fault_tolerance(FaultToleranceConfig::default());
+                builder = builder.fault_tolerance(FaultToleranceConfig::default());
             }
+            let mut policy = builder.build();
             let exp = Experiment {
                 faults: Some(fs.plan.clone()),
                 ..Experiment::paper_default(0xBEEF)

@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release -p llc-examples --example self_healing`
 
-use llc_cluster::{single_module, Experiment, HierarchicalPolicy, RetrainConfig, ScenarioConfig};
+use llc_cluster::{single_module, Experiment, PolicyBuilder, RetrainConfig, ScenarioConfig};
 use llc_core::OnlineConfig;
 use llc_workload::{deep_degradation_scenario, VirtualStore};
 
@@ -34,16 +34,12 @@ fn main() {
 
     let mut maes = Vec::new();
     for self_healing in [false, true] {
-        let sc = if self_healing {
-            scenario().with_drift_aware_l0()
-        } else {
-            scenario()
-        };
-        let mut policy = HierarchicalPolicy::build(&sc);
-        policy.enable_closed_loop(OnlineConfig::default());
+        let sc = scenario();
+        let mut builder = PolicyBuilder::new(sc.clone()).closed_loop(OnlineConfig::default());
         if self_healing {
-            policy.enable_retrain(RetrainConfig::default());
+            builder = builder.drift_aware_l0().retrain(RetrainConfig::default());
         }
+        let mut policy = builder.build();
         let exp = Experiment {
             drift: Some(scenario_def.capacity),
             ..Experiment::paper_default(0xBEEF)

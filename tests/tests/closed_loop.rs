@@ -7,7 +7,7 @@
 use llc_cluster::{
     single_module, ClosedLoopMode, Experiment, FrequencyProfile, GEntry, HierarchicalPolicy,
     L0Config, L0Controller, L1Config, L1Controller, LearnSpec, MapBackend, MemberSpec,
-    ScenarioConfig,
+    PolicyBuilder, ScenarioConfig,
 };
 use llc_core::{LearnRate, OnlineConfig};
 use llc_workload::{
@@ -29,12 +29,13 @@ fn run_tracking(sc: &ScenarioConfig, closed: bool) -> (f64, u64, HierarchicalPol
         .map(|m| m.speed / m.c_prior)
         .sum();
     let scenario = &drift_scenarios(0xC105ED, 50, 120.0, 0.55 * capacity)[2]; // capacity step
-    let mut policy = HierarchicalPolicy::build(sc);
-    if closed {
-        policy.enable_closed_loop(OnlineConfig::default());
+    let builder = PolicyBuilder::new(sc.clone());
+    let mut policy = if closed {
+        builder.closed_loop(OnlineConfig::default())
     } else {
-        policy.enable_outcome_tracking(OnlineConfig::default());
+        builder.outcome_tracking(OnlineConfig::default())
     }
+    .build();
     let exp = Experiment {
         drift: Some(scenario.capacity),
         ..Experiment::paper_default(0xBEEF)
@@ -176,8 +177,9 @@ fn closed_loop_feeds_l2_residual_layer() {
         .sum();
     let trace = Trace::new(30.0, vec![0.5 * capacity * 30.0; 48]).expect("well-formed trace");
     let store = VirtualStore::paper_default(31);
-    let mut policy = HierarchicalPolicy::build(&sc);
-    policy.enable_closed_loop(OnlineConfig::default());
+    let mut policy = PolicyBuilder::new(sc.clone())
+        .closed_loop(OnlineConfig::default())
+        .build();
     let exp = Experiment {
         drift: Some(CapacityProfile::Ramp { from: 1.0, to: 0.7 }),
         ..Experiment::paper_default(31)

@@ -2,7 +2,9 @@
 //! dead time) must not sink requests — the boot-aware routing keeps load
 //! on the serving machines and the module soldiers on.
 
-use llc_cluster::{single_module, Experiment, FaultToleranceConfig, HierarchicalPolicy};
+use llc_cluster::{
+    single_module, Experiment, FaultToleranceConfig, HierarchicalPolicy, PolicyBuilder,
+};
 use llc_core::OnlineConfig;
 use llc_sim::PowerState;
 use llc_workload::{FaultEvent, FaultKind, FaultPlan, Trace, VirtualStore};
@@ -93,9 +95,10 @@ fn restart_under_overload_has_no_arrival_hoarding_window() {
         .iter()
         .map(|m| m.speed / m.c_prior)
         .sum();
-    let mut policy = HierarchicalPolicy::build(&scenario);
-    policy.enable_closed_loop(OnlineConfig::default());
-    policy.enable_fault_tolerance(FaultToleranceConfig::default());
+    let mut policy = PolicyBuilder::new(scenario.clone())
+        .closed_loop(OnlineConfig::default())
+        .fault_tolerance(FaultToleranceConfig::default())
+        .build();
 
     // ~95% of full-cluster capacity: the three survivors run overloaded
     // the whole time machine 1 is down.

@@ -5,7 +5,9 @@
 //! asserted inside `HierarchicalPolicy::decide` (live γ shares sum to
 //! one, no directive ever targets a dead member).
 
-use llc_cluster::{single_module, Experiment, FaultToleranceConfig, HierarchicalPolicy};
+use llc_cluster::{
+    single_module, Experiment, FaultToleranceConfig, HierarchicalPolicy, PolicyBuilder,
+};
 use llc_core::OnlineConfig;
 use llc_workload::{fault_scenarios, FaultEvent, FaultKind, FaultPlan, Trace, VirtualStore};
 
@@ -17,10 +19,10 @@ fn capacity(scenario: &llc_cluster::ScenarioConfig) -> f64 {
 }
 
 fn tolerant_policy(scenario: &llc_cluster::ScenarioConfig) -> HierarchicalPolicy {
-    let mut policy = HierarchicalPolicy::build(scenario);
-    policy.enable_closed_loop(OnlineConfig::default());
-    policy.enable_fault_tolerance(FaultToleranceConfig::default());
-    policy
+    PolicyBuilder::new(scenario.clone())
+        .closed_loop(OnlineConfig::default())
+        .fault_tolerance(FaultToleranceConfig::default())
+        .build()
 }
 
 /// The watchdog sees a crash, excludes the member, and re-admits it
@@ -181,11 +183,11 @@ fn tolerant_tracks_better_than_blind_through_a_crash() {
     ]);
     let mut maes = Vec::new();
     for tolerant in [false, true] {
-        let mut policy = HierarchicalPolicy::build(&scenario);
-        policy.enable_closed_loop(OnlineConfig::default());
+        let mut builder = PolicyBuilder::new(scenario.clone()).closed_loop(OnlineConfig::default());
         if tolerant {
-            policy.enable_fault_tolerance(FaultToleranceConfig::default());
+            builder = builder.fault_tolerance(FaultToleranceConfig::default());
         }
+        let mut policy = builder.build();
         let experiment = Experiment {
             faults: Some(plan.clone()),
             ..Experiment::paper_default(19)

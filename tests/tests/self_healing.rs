@@ -4,7 +4,8 @@
 //! with an in-run background rebuild and hot-swap.
 
 use llc_cluster::{
-    single_module, Experiment, ExperimentLog, HierarchicalPolicy, RetrainConfig, ScenarioConfig,
+    single_module, Experiment, ExperimentLog, HierarchicalPolicy, PolicyBuilder, RetrainConfig,
+    ScenarioConfig,
 };
 use llc_core::OnlineConfig;
 use llc_workload::{deep_degradation_scenario, VirtualStore};
@@ -16,21 +17,17 @@ fn base_scenario() -> ScenarioConfig {
 }
 
 fn run(self_healing: bool) -> (HierarchicalPolicy, ExperimentLog) {
-    let sc = if self_healing {
-        base_scenario().with_drift_aware_l0()
-    } else {
-        base_scenario()
-    };
+    let sc = base_scenario();
     let capacity: f64 = sc.member_specs()[0]
         .iter()
         .map(|m| m.speed / m.c_prior)
         .sum();
     let scenario = deep_degradation_scenario(0xC105ED, 90, 120.0, capacity);
-    let mut policy = HierarchicalPolicy::build(&sc);
-    policy.enable_closed_loop(OnlineConfig::default());
+    let mut builder = PolicyBuilder::new(sc.clone()).closed_loop(OnlineConfig::default());
     if self_healing {
-        policy.enable_retrain(RetrainConfig::default());
+        builder = builder.drift_aware_l0().retrain(RetrainConfig::default());
     }
+    let mut policy = builder.build();
     let exp = Experiment {
         drift: Some(scenario.capacity),
         ..Experiment::paper_default(0xBEEF)
