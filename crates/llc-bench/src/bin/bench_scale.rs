@@ -1,0 +1,572 @@
+//! Mega-cluster plant throughput: how fast the struct-of-arrays,
+//! batch-routed, shard-stepped `ClusterSim` chews through simulated time
+//! as the cluster grows to 1000+ machines.
+//!
+//! For each cluster size the bench drives the same windowed workload
+//! through the batched plant twice — once pinned to one worker thread,
+//! once at the runner's full thread count — and reports simulated
+//! seconds per wall-clock second for both arms. A third arm on the
+//! smallest cluster replays identical traffic through the per-request
+//! event heap, measuring what batching itself buys. Controller overhead
+//! (one L1 decide over trained maps, extrapolated to the module count)
+//! is reported alongside so the plant and the decision plane can be
+//! compared at scale. Traffic is a constant-rate synthetic stream by
+//! default; `--trace wc98` switches the size sweep to a WC'98-like
+//! match-evening crest replay, and the gated path always replays that
+//! crest on the small cluster so the trace loader stays exercised in CI.
+//!
+//! Emits `BENCH_scale.json` at the workspace root (full runs). Pass
+//! `--quick` for a fast smoke run, `--check` for the CI regression gate:
+//! bit-identical sharding determinism, batched-vs-per-request accounting
+//! equivalence, and sim-rate floors against the committed baseline. The
+//! sharded-faster-than-serial comparison is only *gated* when the runner
+//! actually has more than one core — on a single-core runner both arms
+//! run the same serial code path and the comparison is meaningless (the
+//! numbers are still recorded, honestly labeled).
+
+use llc_bench::report::{
+    self, check_mode, gate_ratio, json_number, median3, quick_mode, runner_json,
+};
+use llc_cluster::{
+    cluster_of, AbstractionMap, L0Config, L1Config, L1Controller, LearnSpec, MapBackend,
+    MemberSpec, ScenarioConfig,
+};
+use llc_sim::{ClusterConfig, ClusterSim, WindowStats};
+use llc_workload::wc98_like_day;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Controller window width (the paper's 30-second L1 period).
+const WINDOW_S: f64 = 30.0;
+/// Mean request demand in reference-seconds (the paper's 17.5 ms).
+const DEMAND_S: f64 = 0.0175;
+/// Synthetic-arm target utilization.
+const RHO: f64 = 0.6;
+
+/// Gate tolerances for the sim-rate floors. Unlike the substrate gate,
+/// these floors are *absolute* wall-clock throughput, and shared or
+/// virtualized runners swing well beyond the 10% same-class headroom
+/// with co-tenant load — the same container has measured 25% apart an
+/// hour apart. The floors exist to catch structural regressions (an
+/// accidental O(requests) path would cost 10x, not 1.3x), so they get
+/// generous headroom; the load-invariant batching floor below carries
+/// the fine-grained claim.
+const SCALE_CLASS_TOLERANCE: f64 = 0.30;
+const SCALE_FALLBACK_TOLERANCE: f64 = 0.40;
+
+/// Structural floor on what batching buys over the per-request event
+/// heap. Measured 12–18x depending on load; a drop below 4x means the
+/// batched path has stopped amortizing per-request work, regardless of
+/// how fast the runner is — both arms see the same machine.
+const MIN_BATCH_SPEEDUP: f64 = 4.0;
+
+/// One cluster size of the sweep: `modules` heterogeneous modules of
+/// four computers each (the §5.2 composition patterns).
+struct Size {
+    modules: usize,
+}
+
+impl Size {
+    fn machines(&self) -> usize {
+        self.modules * 4
+    }
+
+    fn key(&self) -> String {
+        format!("scale_{}", self.machines())
+    }
+
+    fn sim_config(&self) -> ClusterConfig {
+        ClusterConfig {
+            modules: cluster_of(self.modules)
+                .iter()
+                .map(|module| module.iter().map(|c| c.to_sim_config()).collect())
+                .collect(),
+        }
+    }
+
+    /// Sum of relative machine speeds — cluster capacity in
+    /// reference-demand units per second is `speed_sum / DEMAND_S`.
+    fn speed_sum(&self) -> f64 {
+        cluster_of(self.modules)
+            .iter()
+            .flatten()
+            .map(|c| c.speed)
+            .sum()
+    }
+}
+
+/// Everything one plant run produces, for timing and for bit-exact
+/// comparison across thread counts and drive modes.
+struct RunOutcome {
+    wall_s: f64,
+    sim_s: f64,
+    arrivals: u64,
+    completions: u64,
+    dropped: u64,
+    energy: f64,
+    /// Per-window, per-machine drained stats — the determinism witness.
+    windows: Vec<Vec<WindowStats>>,
+    module_arrivals: Vec<u64>,
+}
+
+fn fresh_sim(size: &Size) -> ClusterSim {
+    let mut sim = ClusterSim::new(size.sim_config());
+    let p = sim.num_modules();
+    for i in 0..sim.num_computers() {
+        sim.force_on(i);
+    }
+    sim.set_module_weights(&vec![1.0; p]).expect("p modules");
+    for m in 0..p {
+        sim.set_computer_weights(m, &[1.0, 1.0, 1.0, 1.0])
+            .expect("4 members");
+    }
+    sim
+}
+
+/// Drive `counts[w]` arrivals through window `w` of the batched plant at
+/// the given worker-thread count.
+fn run_batched(size: &Size, counts: &[u64], threads: usize) -> RunOutcome {
+    llc_par::with_threads(threads, || {
+        let mut sim = fresh_sim(size);
+        let started = Instant::now();
+        let mut windows = Vec::with_capacity(counts.len());
+        let mut module_arrivals = vec![0u64; sim.num_modules()];
+        let mut completions = 0u64;
+        let mut energy_prev = 0.0;
+        for (w, &count) in counts.iter().enumerate() {
+            let t0 = w as f64 * WINDOW_S;
+            sim.inject_batch(t0, WINDOW_S, count, DEMAND_S)
+                .expect("monotone windows");
+            sim.step_window(t0 + WINDOW_S).expect("monotone windows");
+            let stats = sim.drain_computer_stats();
+            completions += stats.iter().map(|s| s.completions).sum::<u64>();
+            for (m, s) in sim.drain_module_stats().iter().enumerate() {
+                module_arrivals[m] += s.arrivals;
+            }
+            windows.push(stats);
+            energy_prev = sim.total_energy();
+        }
+        RunOutcome {
+            wall_s: started.elapsed().as_secs_f64(),
+            sim_s: sim.now(),
+            arrivals: counts.iter().sum(),
+            completions,
+            dropped: sim.dropped(),
+            energy: energy_prev,
+            windows,
+            module_arrivals,
+        }
+    })
+}
+
+/// Drive the identical workload through the per-request event heap:
+/// every arrival is its own scheduled event, spaced evenly across its
+/// window exactly like the batched run spreads its runs.
+fn run_per_request(size: &Size, counts: &[u64]) -> RunOutcome {
+    let mut sim = fresh_sim(size);
+    let started = Instant::now();
+    let mut windows = Vec::with_capacity(counts.len());
+    let mut module_arrivals = vec![0u64; sim.num_modules()];
+    let mut completions = 0u64;
+    let mut energy = 0.0;
+    for (w, &count) in counts.iter().enumerate() {
+        let t0 = w as f64 * WINDOW_S;
+        let spacing = WINDOW_S / count as f64;
+        for k in 0..count {
+            sim.schedule_arrival(t0 + k as f64 * spacing, DEMAND_S)
+                .expect("monotone windows");
+        }
+        sim.run_until(t0 + WINDOW_S).expect("monotone windows");
+        let stats = sim.drain_computer_stats();
+        completions += stats.iter().map(|s| s.completions).sum::<u64>();
+        for (m, s) in sim.drain_module_stats().iter().enumerate() {
+            module_arrivals[m] += s.arrivals;
+        }
+        windows.push(stats);
+        energy = sim.total_energy();
+    }
+    RunOutcome {
+        wall_s: started.elapsed().as_secs_f64(),
+        sim_s: sim.now(),
+        arrivals: counts.iter().sum(),
+        completions,
+        dropped: sim.dropped(),
+        energy,
+        windows,
+        module_arrivals,
+    }
+}
+
+/// Synthetic constant-rate schedule: `windows` windows at `RHO`
+/// utilization of the cluster's full-speed capacity.
+fn synthetic_counts(size: &Size, windows: usize) -> Vec<u64> {
+    let per_window = (RHO * WINDOW_S * size.speed_sum() / DEMAND_S).round() as u64;
+    vec![per_window; windows]
+}
+
+/// WC'98-like match-evening crest, rebucketed to controller windows and
+/// scaled so the crest's peak window sits at ~0.9 utilization of this
+/// cluster — the trace's *shape* replayed at the plant's scale.
+fn wc98_counts(size: &Size, windows: usize) -> Vec<u64> {
+    let day = wc98_like_day(0xC98);
+    // 2-minute buckets 540..660 cover 18:00-22:00 — the crest.
+    let crest = day.slice(540, 660).rebucket(WINDOW_S).expect("120/30");
+    let peak_per_window = crest.peak();
+    let capacity_per_window = WINDOW_S * size.speed_sum() / DEMAND_S;
+    let scaled = crest.scaled(0.9 * capacity_per_window / peak_per_window);
+    scaled
+        .counts()
+        .iter()
+        .take(windows)
+        .map(|&c| c.round() as u64)
+        .collect()
+}
+
+/// Median-of-three wall time (seconds) for one plant arm.
+fn time_arm(size: &Size, counts: &[u64], threads: usize) -> f64 {
+    median3(|| run_batched(size, counts, threads).wall_s)
+}
+
+/// Time one L1 decide over trained dense maps for a 4-member module —
+/// the per-period decision cost the hierarchy pays per module.
+fn controller_decide_us(quick: bool) -> f64 {
+    let scenario = ScenarioConfig {
+        modules: cluster_of(1),
+        ..llc_cluster::paper_cluster_16()
+    };
+    let members: Vec<MemberSpec> = scenario.member_specs().remove(0);
+    let learn = if quick {
+        LearnSpec::coarse()
+    } else {
+        LearnSpec::default()
+    };
+    let maps: Vec<Arc<AbstractionMap>> = llc_par::par_map(&members, |s| {
+        Arc::new(AbstractionMap::learn_for_member(
+            &L0Config::paper_default(),
+            s,
+            learn,
+            MapBackend::Dense,
+        ))
+    });
+    let mut l1 = L1Controller::new_shared(L1Config::paper_default(), members.clone(), maps);
+    for _ in 0..6 {
+        l1.observe(60 * 120, &vec![Some(DEMAND_S); members.len()]);
+    }
+    let queues = vec![3usize; members.len()];
+    let active = vec![true; members.len()];
+    for _ in 0..20 {
+        black_box(l1.decide(&queues, &active));
+    }
+    let iters = if quick { 40 } else { 200 };
+    median3(|| {
+        let started = Instant::now();
+        for _ in 0..iters {
+            black_box(l1.decide(black_box(&queues), black_box(&active)));
+        }
+        started.elapsed().as_secs_f64() * 1e6 / iters as f64
+    })
+}
+
+/// `true` when two runs produced bit-identical per-window stats, drops
+/// and energy — the sharding determinism contract.
+fn identical(a: &RunOutcome, b: &RunOutcome) -> bool {
+    a.windows == b.windows
+        && a.dropped == b.dropped
+        && a.energy.to_bits() == b.energy.to_bits()
+        && a.module_arrivals == b.module_arrivals
+}
+
+fn main() {
+    let check = check_mode();
+    let quick = quick_mode() || check;
+    let threads = llc_par::num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let trace_mode = {
+        let args: Vec<String> = std::env::args().collect();
+        args.windows(2).any(|w| w[0] == "--trace" && w[1] == "wc98")
+    };
+    let windows = if quick { 6 } else { 20 };
+    let sizes = [
+        Size { modules: 4 },   // 16 machines — the paper's §5.2 cluster
+        Size { modules: 32 },  // 128 machines
+        Size { modules: 250 }, // 1000 machines
+    ];
+    println!(
+        "scale benchmark (threads = {threads}, cores = {cores}, quick = {quick}, \
+         check = {check}, traffic = {})",
+        if trace_mode {
+            "wc98 crest"
+        } else {
+            "synthetic"
+        }
+    );
+
+    // --- Size sweep: serial vs sharded batched plant. -----------------
+    let mut size_rows = Vec::new();
+    let sharded_threads = threads.max(2);
+    for size in &sizes {
+        let counts = if trace_mode {
+            wc98_counts(size, windows)
+        } else {
+            synthetic_counts(size, windows)
+        };
+        let serial_s = time_arm(size, &counts, 1);
+        let sharded_s = time_arm(size, &counts, sharded_threads);
+        let outcome = run_batched(size, &counts, 1);
+        let sim_s = outcome.sim_s;
+        let serial_rate = sim_s / serial_s;
+        let sharded_rate = sim_s / sharded_s;
+        println!(
+            "{:>4} machines: {:>11} arrivals over {sim_s:.0} sim-s | \
+             serial {serial_rate:>9.0} sim-s/wall-s | \
+             {sharded_threads} threads {sharded_rate:>9.0} sim-s/wall-s ({:.2}x)",
+            size.machines(),
+            outcome.arrivals,
+            serial_s / sharded_s,
+        );
+        size_rows.push((size, counts, serial_s, sharded_s, outcome));
+    }
+
+    // --- Sharding determinism: 1 vs 2 vs 8 workers, bit-identical. ----
+    let det_size = &sizes[1];
+    let det_counts = synthetic_counts(det_size, windows.min(6));
+    let det1 = run_batched(det_size, &det_counts, 1);
+    let det2 = run_batched(det_size, &det_counts, 2);
+    let det8 = run_batched(det_size, &det_counts, 8);
+    let deterministic = identical(&det1, &det2) && identical(&det1, &det8);
+    println!(
+        "sharding determinism (128 machines, 1/2/8 workers): {}",
+        if deterministic {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    // --- Batching vs the per-request event heap, identical traffic. ---
+    let small = &sizes[0];
+    let small_counts = synthetic_counts(small, windows);
+    let per_req = run_per_request(small, &small_counts);
+    let batched = run_batched(small, &small_counts, 1);
+    let per_req_s = median3(|| run_per_request(small, &small_counts).wall_s);
+    let batched_s = median3(|| run_batched(small, &small_counts, 1).wall_s);
+    let batch_speedup = per_req_s / batched_s;
+    let accounting_ok = per_req.module_arrivals == batched.module_arrivals
+        && per_req.dropped == batched.dropped
+        && per_req.arrivals == batched.arrivals;
+    println!(
+        "batched vs per-request heap (16 machines, serial): {batch_speedup:.2}x, \
+         accounting {}",
+        if accounting_ok {
+            "equivalent"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    // --- Gated WC'98 replay on the small cluster (trace loader path). -
+    let wc98_small_counts = wc98_counts(small, windows);
+    let wc98_small = run_batched(small, &wc98_small_counts, 1);
+    let wc98_rate = wc98_small.sim_s / wc98_small.wall_s;
+    println!(
+        "wc98 crest replay (16 machines): {} arrivals, {} dropped, \
+         {wc98_rate:.0} sim-s/wall-s",
+        wc98_small.arrivals, wc98_small.dropped
+    );
+
+    // --- Controller overhead at scale. --------------------------------
+    let decide_us = controller_decide_us(quick);
+    let largest = &sizes[sizes.len() - 1];
+    let extrapolated_ms = decide_us * largest.modules as f64 / 1e3;
+    println!(
+        "controller overhead: {decide_us:.1} us per module decide, \
+         x{} modules = {extrapolated_ms:.1} ms/period serial-extrapolated \
+         (modules decide independently; llc-par fans out across cores)",
+        largest.modules
+    );
+
+    if check {
+        let mut failures = Vec::new();
+        if !deterministic {
+            failures.push("REGRESSION sharding determinism: 1/2/8-worker runs differ".to_string());
+        }
+        if !accounting_ok {
+            failures.push(
+                "REGRESSION batched accounting: module arrivals/drops diverge from \
+                 the per-request stream"
+                    .to_string(),
+            );
+        }
+        if wc98_small.arrivals == 0 || wc98_small.completions == 0 {
+            failures.push("REGRESSION wc98 replay: no traffic served".to_string());
+        }
+        // Load-invariant floor: both arms run on the same machine in the
+        // same minute, so their ratio holds even when co-tenant load
+        // makes the absolute sim-rate floors breathe.
+        if batch_speedup < MIN_BATCH_SPEEDUP {
+            failures.push(format!(
+                "REGRESSION batching speedup: {batch_speedup:.2}x < {MIN_BATCH_SPEEDUP:.0}x \
+                 floor over the per-request heap"
+            ));
+        } else {
+            println!(
+                "gate ok  batching speedup: {batch_speedup:.2}x >= {MIN_BATCH_SPEEDUP:.0}x \
+                 floor over the per-request heap"
+            );
+        }
+        // Sim-rate floors against the committed baseline (per-class when
+        // this runner has a snapshot, workspace-root fallback otherwise).
+        let (committed, tolerance, source) = match report::load_class_baseline("scale", threads) {
+            Some(json) => (
+                Some(json),
+                SCALE_CLASS_TOLERANCE,
+                format!("class baseline {}", report::runner_class(threads)),
+            ),
+            None => (
+                std::fs::read_to_string("BENCH_scale.json").ok(),
+                SCALE_FALLBACK_TOLERANCE,
+                "workspace-root BENCH_scale.json".to_string(),
+            ),
+        };
+        match committed {
+            Some(committed) => {
+                println!("gating against {source} at {:.0}%", tolerance * 100.0);
+                for (size, _, serial_s, sharded_s, outcome) in &size_rows {
+                    let measured = outcome.sim_s / serial_s.min(*sharded_s);
+                    if let Some(baseline) =
+                        json_number(&committed, &size.key(), "best_sim_s_per_wall_s")
+                    {
+                        if let Err(e) = gate_ratio(
+                            &format!("{} machines sim rate", size.machines()),
+                            measured,
+                            baseline,
+                            tolerance,
+                        ) {
+                            failures.push(e);
+                        }
+                    } else {
+                        println!(
+                            "note: no {} baseline in {source}; skipping its floor",
+                            size.key()
+                        );
+                    }
+                }
+            }
+            None => println!("note: no committed baseline found; sim-rate floors skipped"),
+        }
+        // The multi-core claim is only checkable on multi-core hardware:
+        // with one core both arms execute the same serial code path.
+        if cores > 1 {
+            let (_, _, serial_s, sharded_s, _) = &size_rows[size_rows.len() - 1];
+            if sharded_s >= serial_s {
+                failures.push(format!(
+                    "REGRESSION sharded arm not faster on largest size: \
+                     {sharded_s:.2}s (x{sharded_threads}) vs {serial_s:.2}s serial \
+                     on a {cores}-core runner"
+                ));
+            } else {
+                println!(
+                    "gate ok  sharded arm faster on largest size \
+                     ({sharded_s:.2}s < {serial_s:.2}s, {cores} cores)"
+                );
+            }
+        } else {
+            println!(
+                "note: single-core runner — sharded-faster gate skipped \
+                 (both arms run the identical serial path); determinism gate \
+                 covers the sharding discipline"
+            );
+        }
+        if failures.is_empty() {
+            println!("bench gate passed: scale plant deterministic, equivalent and fast enough");
+            return;
+        }
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+    if quick {
+        println!("(quick mode: BENCH_scale.json not rewritten)");
+        return;
+    }
+
+    // --- Full run: emit BENCH_scale.json. -----------------------------
+    let mut sections = String::new();
+    for (size, counts, serial_s, sharded_s, outcome) in &size_rows {
+        let best = serial_s.min(*sharded_s);
+        sections.push_str(&format!(
+            "  \"{key}\": {{\n    \"machines\": {machines},\n    \"modules\": {modules},\n    \
+             \"windows\": {w},\n    \"sim_seconds\": {sim:.0},\n    \"arrivals\": {arr},\n    \
+             \"completions\": {comp},\n    \"dropped\": {drop},\n    \
+             \"serial_wall_s\": {serial_s:.3},\n    \"serial_sim_s_per_wall_s\": {sr:.0},\n    \
+             \"sharded_threads\": {st},\n    \"sharded_wall_s\": {sharded_s:.3},\n    \
+             \"sharded_sim_s_per_wall_s\": {shr:.0},\n    \
+             \"best_sim_s_per_wall_s\": {br:.0},\n    \
+             \"sharded_over_serial\": {sos:.3}\n  }},\n",
+            key = size.key(),
+            machines = size.machines(),
+            modules = size.modules,
+            w = counts.len(),
+            sim = outcome.sim_s,
+            arr = outcome.arrivals,
+            comp = outcome.completions,
+            drop = outcome.dropped,
+            sr = outcome.sim_s / serial_s,
+            st = sharded_threads,
+            shr = outcome.sim_s / sharded_s,
+            br = outcome.sim_s / best,
+            sos = serial_s / sharded_s,
+        ));
+    }
+    let json = format!(
+        "{{\n  {runner},\n  \"timing\": \"median of 3 runs per arm\",\n  \
+         \"traffic\": \"{traffic}\",\n  \
+         \"note\": \"sharded arm recorded at {sharded_threads} workers on a {cores}-core \
+         runner; on one core both arms execute the same serial path and the ratio \
+         reflects thread-pool overhead only — the determinism gate (1/2/8 workers \
+         bit-identical) is what certifies the sharding discipline there\",\n\
+         {sections}  \"batching\": {{\n    \"machines\": {bm},\n    \
+         \"per_request_wall_s\": {prs:.3},\n    \"batched_wall_s\": {bts:.3},\n    \
+         \"speedup\": {bsp:.2},\n    \"accounting_equivalent\": {acc}\n  }},\n  \
+         \"wc98_replay\": {{\n    \"machines\": {wm},\n    \"windows\": {ww},\n    \
+         \"arrivals\": {wa},\n    \"dropped\": {wd},\n    \
+         \"sim_s_per_wall_s\": {wr:.0}\n  }},\n  \
+         \"controller\": {{\n    \"per_module_decide_us\": {dus:.1},\n    \
+         \"modules_at_largest\": {ml},\n    \
+         \"extrapolated_serial_ms_per_period\": {ems:.1},\n    \
+         \"period_s\": {ps:.0}\n  }},\n  \
+         \"determinism\": \"{det}\"\n}}\n",
+        runner = runner_json(threads),
+        traffic = if trace_mode {
+            "wc98 crest replay"
+        } else {
+            "synthetic constant-rate at rho 0.6"
+        },
+        bm = small.machines(),
+        prs = per_req_s,
+        bts = batched_s,
+        bsp = batch_speedup,
+        acc = accounting_ok,
+        wm = small.machines(),
+        ww = wc98_small_counts.len(),
+        wa = wc98_small.arrivals,
+        wd = wc98_small.dropped,
+        wr = wc98_rate,
+        dus = decide_us,
+        ml = largest.modules,
+        ems = extrapolated_ms,
+        ps = WINDOW_S,
+        det = if deterministic {
+            "1/2/8-worker runs bit-identical (128 machines)"
+        } else {
+            "MISMATCH"
+        },
+    );
+    std::fs::write("BENCH_scale.json", &json).expect("cannot write BENCH_scale.json");
+    println!("wrote BENCH_scale.json");
+    if let Some(class_path) = report::write_class_baseline("scale", threads, &json) {
+        println!("wrote {} (runner-class baseline)", class_path.display());
+    }
+}

@@ -313,13 +313,49 @@ fn main() {
         microbench::ms(started.elapsed())
     });
 
+    // The same pipeline pinned to one worker: separates the pure
+    // substrate win (Arc-sharing + dense probes + replay memo) from the
+    // llc-par fan-out, whose contribution is the ratio between the two
+    // arms and scales with the runner's core count.
+    let (new_maps_ms_1t, new_module_ms_1t) = llc_par::with_threads(1, || {
+        let maps_ms = median3(|| {
+            let started = Instant::now();
+            let maps: Vec<Arc<AbstractionMap>> = llc_par::par_map(&members, |s| {
+                Arc::new(learn_map(s, learn_spec, MapBackend::Dense))
+            });
+            black_box(&maps);
+            microbench::ms(started.elapsed())
+        });
+        let module_ms = median3(|| {
+            let run_maps: Vec<Arc<AbstractionMap>> = llc_par::par_map(&members, |s| {
+                Arc::new(learn_map(s, learn_spec, MapBackend::Dense))
+            });
+            let started = Instant::now();
+            let model = ModuleCostModel::learn(
+                &l1_config,
+                &members,
+                &run_maps,
+                capacity * 1.3,
+                module_spec,
+            );
+            black_box(model.tree_nodes());
+            microbench::ms(started.elapsed())
+        });
+        (maps_ms, module_ms)
+    });
+
     let baseline_total = baseline_maps_ms + baseline_module_ms;
     let new_total = new_maps_ms + new_module_ms;
+    let new_total_1t = new_maps_ms_1t + new_module_ms_1t;
     let learn_speedup = baseline_total / new_total;
+    let substrate_speedup = baseline_total / new_total_1t;
+    let fanout_speedup = new_total_1t / new_total;
     println!(
         "offline learning: maps {baseline_maps_ms:.0} -> {new_maps_ms:.0} ms, \
          module tree {baseline_module_ms:.0} -> {new_module_ms:.0} ms, \
-         total {baseline_total:.0} -> {new_total:.0} ms ({learn_speedup:.1}x)"
+         total {baseline_total:.0} -> {new_total:.0} ms ({learn_speedup:.1}x at \
+         {threads} threads; substrate alone {substrate_speedup:.1}x at 1 thread, \
+         fan-out x{fanout_speedup:.2})"
     );
 
     // --- Online decision path: L1 decide over each substrate. ---
@@ -413,7 +449,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  {runner},\n  \"timing\": \"median of 3 runs per measurement\",\n  \"probes\": {{\n    \"query_mix\": \"70% in-grid, 30% out-of-grid, {n} queries\",\n    \"hash_ns_per_probe\": {hash_ns:.2},\n    \"dense_ns_per_probe\": {dense_ns:.2},\n    \"hash_probes_per_sec\": {hps:.0},\n    \"dense_probes_per_sec\": {dps:.0},\n    \"speedup\": {probe_speedup:.2}\n  }},\n  \"offline_learning\": {{\n    \"map_grid_points_per_member\": {map_points},\n    \"module_grid_points\": {module_points},\n    \"baseline\": \"serial, hash substrate, deep map clone per module grid point\",\n    \"caveat\": \"measured at threads = {threads}; the speedup here is pure substrate (Arc-sharing + dense probes + replay memo) and llc-par multiplies it by core count on multi-core hosts\",\n    \"baseline_map_learn_ms\": {baseline_maps_ms:.1},\n    \"baseline_module_learn_ms\": {baseline_module_ms:.1},\n    \"baseline_total_ms\": {baseline_total:.1},\n    \"new_map_learn_ms\": {new_maps_ms:.1},\n    \"new_module_learn_ms\": {new_module_ms:.1},\n    \"new_total_ms\": {new_total:.1},\n    \"speedup\": {learn_speedup:.2}\n  }},\n  \"l1_decide\": {{\n    \"hash_us\": {hdu:.1},\n    \"dense_us\": {ddu:.1},\n    \"speedup\": {decide_speedup:.2}\n  }}\n}}\n",
+        "{{\n  {runner},\n  \"timing\": \"median of 3 runs per measurement\",\n  \"probes\": {{\n    \"query_mix\": \"70% in-grid, 30% out-of-grid, {n} queries\",\n    \"hash_ns_per_probe\": {hash_ns:.2},\n    \"dense_ns_per_probe\": {dense_ns:.2},\n    \"hash_probes_per_sec\": {hps:.0},\n    \"dense_probes_per_sec\": {dps:.0},\n    \"speedup\": {probe_speedup:.2}\n  }},\n  \"offline_learning\": {{\n    \"map_grid_points_per_member\": {map_points},\n    \"module_grid_points\": {module_points},\n    \"baseline\": \"serial, hash substrate, deep map clone per module grid point\",\n    \"threads\": {threads},\n    \"baseline_map_learn_ms\": {baseline_maps_ms:.1},\n    \"baseline_module_learn_ms\": {baseline_module_ms:.1},\n    \"baseline_total_ms\": {baseline_total:.1},\n    \"new_map_learn_ms\": {new_maps_ms:.1},\n    \"new_module_learn_ms\": {new_module_ms:.1},\n    \"new_total_ms\": {new_total:.1},\n    \"new_total_ms_one_worker\": {new_total_1t:.1},\n    \"substrate_speedup_one_worker\": {substrate_speedup:.2},\n    \"parallel_fanout_speedup\": {fanout_speedup:.2},\n    \"speedup\": {learn_speedup:.2}\n  }},\n  \"l1_decide\": {{\n    \"hash_us\": {hdu:.1},\n    \"dense_us\": {ddu:.1},\n    \"speedup\": {decide_speedup:.2}\n  }}\n}}\n",
         runner = runner_json(threads),
         n = queries.len(),
         hps = 1e9 / hash_ns,

@@ -62,6 +62,23 @@ pub fn in_worker() -> bool {
     IN_WORKER.with(Cell::get)
 }
 
+/// Run `f` with the worker count forced to `n`, restoring the previous
+/// override afterwards (including on panic). The shard-count knob for
+/// benchmark arms and determinism tests that compare the same sweep at
+/// several thread counts — note the override is process-global, so
+/// concurrent callers of `with_threads` race; keep such comparisons
+/// inside one sequential test.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.swap(n, Ordering::Relaxed));
+    f()
+}
+
 /// Map `f` over `items` in parallel, preserving order.
 ///
 /// Equivalent to `items.iter().map(f).collect()` for any pure `f`; the
@@ -205,5 +222,8 @@ mod tests {
         assert_eq!(num_threads(), 3);
         set_threads(0);
         assert!(num_threads() >= 1);
+        let inside = with_threads(5, num_threads);
+        assert_eq!(inside, 5);
+        assert!(num_threads() >= 1, "override restored after the closure");
     }
 }

@@ -1,5 +1,5 @@
-use crate::computer::Admission;
-use crate::{Computer, PowerModel, Request, WeightedRouter, WindowStats};
+use crate::machines::{Admission, BatchRun, ComputerRef, MachineLane, MachineSlabs};
+use crate::{PowerModel, PowerState, Request, WeightedRouter, WindowStats};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -126,18 +126,37 @@ impl Ord for Event {
 
 /// The event-driven cluster simulator (the plant of Fig. 1(a)).
 ///
-/// Requests scheduled via [`ClusterSim::schedule_arrival`] flow through a
-/// two-level dispatcher (global → module → computer) realizing the γ
-/// fractions set by the controllers, queue FCFS at each computer, and are
-/// served at the DVFS-scaled rate. [`ClusterSim::run_until`] advances the
-/// event loop; between calls the controllers observe per-computer
-/// [`WindowStats`] and actuate frequencies, power states and weights.
+/// Per-machine state lives in [`MachineSlabs`] — struct-of-arrays slabs
+/// indexed by global machine id — so sweeping a 1000-machine cluster walks
+/// flat vectors instead of chasing per-machine heap allocations.
+///
+/// Two driving modes share the same machine state:
+///
+/// * **Per-request** (the original path, used by the control experiments):
+///   requests scheduled via [`ClusterSim::schedule_arrival`] flow through a
+///   two-level dispatcher (global → module → computer) realizing the γ
+///   fractions set by the controllers, queue FCFS at each computer, and
+///   are served at the DVFS-scaled rate. [`ClusterSim::run_until`]
+///   advances the global event loop.
+/// * **Batched** (the scale path): [`ClusterSim::inject_batch`] routes a
+///   whole window's arrivals analytically through the same routers — one
+///   draw per (module, window) instead of per request — and
+///   [`ClusterSim::step_window`] sweeps every machine's local timeline in
+///   parallel shards, bit-identical for any shard count. The event heap
+///   holds O(machines) entries instead of O(requests).
+///
+/// Between advances the controllers observe per-computer [`WindowStats`]
+/// and actuate frequencies, power states and weights in either mode. Do
+/// not interleave the two modes within one window: `step_window` takes
+/// ownership of boot handling and discards pending heap events.
 #[derive(Debug, Clone)]
 pub struct ClusterSim {
     now: f64,
-    computers: Vec<Computer>,
+    machines: MachineSlabs,
     /// Global indices of the computers of each module.
     modules: Vec<Vec<usize>>,
+    /// Module that each computer belongs to (inverse of `modules`).
+    module_of: Vec<usize>,
     global_router: WeightedRouter,
     module_routers: Vec<WeightedRouter>,
     module_stats: Vec<WindowStats>,
@@ -156,6 +175,9 @@ pub struct ClusterSim {
     /// them even when the machine's own telemetry has gone dark — a
     /// dispatcher always knows its own failed sends.
     dispatch_rejected: Vec<u64>,
+    /// Per-computer batched arrival runs awaiting the next
+    /// [`ClusterSim::step_window`] sweep.
+    pending_runs: Vec<Vec<BatchRun>>,
 }
 
 impl ClusterSim {
@@ -164,7 +186,7 @@ impl ClusterSim {
     /// # Panics
     ///
     /// Panics if the config has no modules or an empty module (the
-    /// computer constructor validates the rest).
+    /// machine slab constructor validates the rest).
     pub fn new(config: ClusterConfig) -> Self {
         assert!(
             !config.modules.is_empty(),
@@ -174,18 +196,14 @@ impl ClusterSim {
             config.modules.iter().all(|m| !m.is_empty()),
             "every module needs at least one computer"
         );
-        let mut computers = Vec::new();
+        let mut machines = MachineSlabs::new();
         let mut modules = Vec::new();
-        for module_cfg in &config.modules {
+        let mut module_of = Vec::new();
+        for (m, module_cfg) in config.modules.iter().enumerate() {
             let mut indices = Vec::with_capacity(module_cfg.len());
             for c in module_cfg {
-                indices.push(computers.len());
-                computers.push(Computer::new(
-                    c.frequencies.clone(),
-                    c.speed,
-                    c.power,
-                    c.boot_delay,
-                ));
+                indices.push(machines.push(&c.frequencies, c.speed, c.power, c.boot_delay));
+                module_of.push(m);
             }
             modules.push(indices);
         }
@@ -194,11 +212,12 @@ impl ClusterSim {
             .map(|m| WeightedRouter::new(m.len()))
             .collect();
         let module_count = modules.len();
-        let computer_count = computers.len();
+        let computer_count = machines.len();
         ClusterSim {
             now: 0.0,
-            computers,
+            machines,
             modules,
+            module_of,
             global_router: WeightedRouter::new(module_count),
             module_routers,
             module_stats: vec![WindowStats::default(); module_count],
@@ -208,6 +227,7 @@ impl ClusterSim {
             dropped_total: 0,
             stuck_actuators: vec![false; computer_count],
             dispatch_rejected: vec![0; computer_count],
+            pending_runs: vec![Vec::new(); computer_count],
         }
     }
 
@@ -218,7 +238,7 @@ impl ClusterSim {
 
     /// Number of computers in the cluster.
     pub fn num_computers(&self) -> usize {
-        self.computers.len()
+        self.machines.len()
     }
 
     /// Number of modules.
@@ -235,13 +255,14 @@ impl ClusterSim {
         &self.modules[m]
     }
 
-    /// Immutable view of computer `i`.
+    /// Read-only view of computer `i`.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn computer(&self, i: usize) -> &Computer {
-        &self.computers[i]
+    pub fn computer(&self, i: usize) -> ComputerRef<'_> {
+        assert!(i < self.machines.len(), "no computer with index {i}");
+        ComputerRef::new(&self.machines, i)
     }
 
     /// Total requests dropped because no operating target existed.
@@ -251,12 +272,16 @@ impl ClusterSim {
 
     /// Total energy consumed by all computers up to the current time.
     pub fn total_energy(&self) -> f64 {
-        self.computers.iter().map(|c| c.energy_at(self.now)).sum()
+        (0..self.machines.len())
+            .map(|i| self.machines.energy_at(i, self.now))
+            .sum()
     }
 
     /// Number of computers currently active (on, booting or draining).
     pub fn active_count(&self) -> usize {
-        self.computers.iter().filter(|c| c.is_active()).count()
+        (0..self.machines.len())
+            .filter(|&i| self.machines.is_active(i))
+            .count()
     }
 
     fn push_event(&mut self, time: f64, kind: EventKind) {
@@ -328,8 +353,8 @@ impl ClusterSim {
     /// Panics if `i` is out of range.
     pub fn power_on(&mut self, i: usize) {
         let now = self.now;
-        if let Some(ready_at) = self.computers[i].power_on(now) {
-            let epoch = self.computers[i].bump_epoch();
+        if let Some(ready_at) = self.machines.power_on(i, now) {
+            let epoch = self.machines.bump_epoch(i);
             if ready_at.is_finite() {
                 self.push_event(ready_at, EventKind::BootDone { comp: i, epoch });
             }
@@ -348,10 +373,10 @@ impl ClusterSim {
     /// Panics if `i` is out of range.
     pub fn force_on(&mut self, i: usize) {
         let now = self.now;
-        self.computers[i].force_on(now);
-        self.computers[i].bump_epoch();
-        if let Some(t) = self.computers[i].completion_time() {
-            let epoch = self.computers[i].epoch();
+        self.machines.force_on(i, now);
+        self.machines.bump_epoch(i);
+        if let Some(t) = self.machines.completion_time(i) {
+            let epoch = self.machines.epoch(i);
             self.push_event(t, EventKind::Departure { comp: i, epoch });
         }
     }
@@ -363,11 +388,11 @@ impl ClusterSim {
     /// Panics if `i` is out of range.
     pub fn power_off(&mut self, i: usize) {
         let now = self.now;
-        self.computers[i].power_off(now);
+        self.machines.power_off(i, now);
         // Cancelling a boot invalidates the pending BootDone event; a
         // draining computer keeps serving so departures stay valid.
-        if matches!(self.computers[i].state(), crate::PowerState::Off) {
-            self.computers[i].bump_epoch();
+        if matches!(self.machines.state(i), PowerState::Off) {
+            self.machines.bump_epoch(i);
         }
     }
 
@@ -382,15 +407,15 @@ impl ClusterSim {
     pub fn set_frequency(&mut self, i: usize, index: usize) {
         if self.stuck_actuators[i] {
             assert!(
-                index < self.computers[i].frequencies().len(),
+                index < self.machines.frequencies(i).len(),
                 "frequency index out of range"
             );
             return;
         }
         let now = self.now;
-        let new_completion = self.computers[i].set_frequency_index(index, now);
+        let new_completion = self.machines.set_frequency_index(i, index, now);
         if let Some(t) = new_completion {
-            let epoch = self.computers[i].bump_epoch();
+            let epoch = self.machines.bump_epoch(i);
             self.push_event(t, EventKind::Departure { comp: i, epoch });
         }
     }
@@ -406,9 +431,9 @@ impl ClusterSim {
     /// Panics if `i` is out of range or `scale` is outside `(0, 1]`.
     pub fn set_service_scale(&mut self, i: usize, scale: f64) {
         let now = self.now;
-        let new_completion = self.computers[i].set_service_scale(scale, now);
+        let new_completion = self.machines.set_service_scale(i, scale, now);
         if let Some(t) = new_completion {
-            let epoch = self.computers[i].bump_epoch();
+            let epoch = self.machines.bump_epoch(i);
             self.push_event(t, EventKind::Departure { comp: i, epoch });
         }
     }
@@ -422,15 +447,7 @@ impl ClusterSim {
     ///
     /// Panics if `i` is out of range.
     pub fn service_scale(&self, i: usize) -> f64 {
-        self.computers[i].service_scale()
-    }
-
-    /// Module that computer `i` belongs to.
-    fn module_of(&self, i: usize) -> usize {
-        self.modules
-            .iter()
-            .position(|m| m.contains(&i))
-            .expect("every computer belongs to a module")
+        self.machines.service_scale(i)
     }
 
     /// Crash computer `i` at the current time: all queued and in-service
@@ -451,10 +468,10 @@ impl ClusterSim {
     /// Panics if `i` is out of range.
     pub fn crash(&mut self, i: usize, requeue: bool) -> usize {
         let now = self.now;
-        let lost = self.computers[i].fail(now);
-        self.computers[i].bump_epoch();
+        let lost = self.machines.fail(i, now);
+        self.machines.bump_epoch(i);
         let count = lost.len();
-        let m = self.module_of(i);
+        let m = self.module_of[i];
         if requeue {
             for request in lost {
                 self.redispatch_in_module(m, request);
@@ -476,12 +493,13 @@ impl ClusterSim {
             return;
         };
         let comp = self.modules[m][local];
-        match self.computers[comp].offer(request, self.now) {
+        match self.machines.offer(comp, request, self.now) {
             Admission::Started => {
-                let t = self.computers[comp]
-                    .completion_time()
+                let t = self
+                    .machines
+                    .completion_time(comp)
                     .expect("started implies serving");
-                let epoch = self.computers[comp].bump_epoch();
+                let epoch = self.machines.bump_epoch(comp);
                 self.push_event(t, EventKind::Departure { comp, epoch });
             }
             Admission::Queued => {}
@@ -503,7 +521,7 @@ impl ClusterSim {
     /// Panics if `i` is out of range.
     pub fn restart(&mut self, i: usize) {
         let now = self.now;
-        self.computers[i].repair(now);
+        self.machines.repair(i, now);
         self.power_on(i);
     }
 
@@ -516,7 +534,7 @@ impl ClusterSim {
     ///
     /// Panics if `i` is out of range.
     pub fn set_actuator_stuck(&mut self, i: usize, stuck: bool) {
-        assert!(i < self.computers.len(), "no computer with index {i}");
+        assert!(i < self.machines.len(), "no computer with index {i}");
         self.stuck_actuators[i] = stuck;
     }
 
@@ -534,9 +552,8 @@ impl ClusterSim {
     /// previous drain (integrated up to the current simulation time).
     pub fn drain_computer_stats(&mut self) -> Vec<WindowStats> {
         let now = self.now;
-        self.computers
-            .iter_mut()
-            .map(|c| c.drain_stats(now))
+        (0..self.machines.len())
+            .map(|i| self.machines.drain_stats(i, now))
             .collect()
     }
 
@@ -580,12 +597,12 @@ impl ClusterSim {
             match ev.kind {
                 EventKind::Arrival { demand } => self.handle_arrival(demand),
                 EventKind::Departure { comp, epoch } => {
-                    if self.computers[comp].epoch() == epoch {
+                    if self.machines.epoch(comp) == epoch {
                         self.handle_departure(comp);
                     }
                 }
                 EventKind::BootDone { comp, epoch } => {
-                    if self.computers[comp].epoch() == epoch {
+                    if self.machines.epoch(comp) == epoch {
                         self.handle_boot_done(comp);
                     }
                 }
@@ -611,12 +628,13 @@ impl ClusterSim {
             return;
         };
         let comp = self.modules[m][local];
-        match self.computers[comp].offer(request, self.now) {
+        match self.machines.offer(comp, request, self.now) {
             Admission::Started => {
-                let t = self.computers[comp]
-                    .completion_time()
+                let t = self
+                    .machines
+                    .completion_time(comp)
                     .expect("started implies serving");
-                let epoch = self.computers[comp].bump_epoch();
+                let epoch = self.machines.bump_epoch(comp);
                 self.push_event(t, EventKind::Departure { comp, epoch });
             }
             Admission::Queued => {}
@@ -629,22 +647,156 @@ impl ClusterSim {
     }
 
     fn handle_departure(&mut self, comp: usize) {
-        let _finished = self.computers[comp].complete(self.now);
-        if let Some(t) = self.computers[comp].completion_time() {
-            let epoch = self.computers[comp].bump_epoch();
+        let _finished = self.machines.complete(comp, self.now);
+        if let Some(t) = self.machines.completion_time(comp) {
+            let epoch = self.machines.bump_epoch(comp);
             self.push_event(t, EventKind::Departure { comp, epoch });
         }
     }
 
     fn handle_boot_done(&mut self, comp: usize) {
-        let started = self.computers[comp].finish_boot(self.now);
+        let started = self.machines.finish_boot(comp, self.now);
         if started {
-            let t = self.computers[comp]
-                .completion_time()
+            let t = self
+                .machines
+                .completion_time(comp)
                 .expect("boot started a job");
-            let epoch = self.computers[comp].bump_epoch();
+            let epoch = self.machines.bump_epoch(comp);
             self.push_event(t, EventKind::Departure { comp, epoch });
         }
+    }
+
+    // ----- batched window mode --------------------------------------
+
+    /// Route one window's worth of arrivals analytically: `count`
+    /// requests of `demand` reference-seconds each, spread evenly over
+    /// `[start, start + width)`. One deficit-round-robin batch draw per
+    /// router replaces `count` per-request draws; each machine receives
+    /// its allotment as a batch run consumed by the next
+    /// [`ClusterSim::step_window`]. Routing happens now, at injection —
+    /// the same directives-before-arrivals order the per-request path
+    /// sees when a window's arrivals are scheduled after actuation.
+    ///
+    /// Arrivals that no router can place (all-zero weights) are counted
+    /// as drops immediately, exactly like the per-request path.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeRanBackwards`] if `start < now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `demand` is not positive and finite.
+    pub fn inject_batch(
+        &mut self,
+        start: f64,
+        width: f64,
+        count: u64,
+        demand: f64,
+    ) -> Result<(), SimError> {
+        if start < self.now {
+            return Err(SimError::TimeRanBackwards {
+                now: self.now,
+                requested: start,
+            });
+        }
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "window width must be positive and finite"
+        );
+        assert!(
+            demand > 0.0 && demand.is_finite(),
+            "demand must be positive and finite"
+        );
+        if count == 0 {
+            return Ok(());
+        }
+        let Some(per_module) = self.global_router.route_batch(count) else {
+            self.dropped_total += count;
+            return Ok(());
+        };
+        for (m, &n_m) in per_module.iter().enumerate() {
+            if n_m == 0 {
+                continue;
+            }
+            self.module_stats[m].arrivals += n_m;
+            let Some(per_member) = self.module_routers[m].route_batch(n_m) else {
+                self.module_stats[m].dropped += n_m;
+                self.dropped_total += n_m;
+                continue;
+            };
+            for (local, &n_j) in per_member.iter().enumerate() {
+                if n_j == 0 {
+                    continue;
+                }
+                let comp = self.modules[m][local];
+                self.pending_runs[comp].push(BatchRun {
+                    start,
+                    spacing: width / n_j as f64,
+                    count: n_j,
+                    demand,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Sweep every machine's local timeline to absolute time `t`,
+    /// consuming the batched arrivals injected since the last sweep.
+    ///
+    /// Each machine is an independent FCFS system once its arrivals are
+    /// assigned, so the sweep shards across cores with
+    /// `llc_par::par_for_each_mut`: machine lanes are detached from the
+    /// slabs in index order, stepped in parallel (each worker owns a
+    /// contiguous disjoint chunk), and merged back serially in index
+    /// order — results are bit-identical for any thread count. Rejected
+    /// batch arrivals are charged to module drops, the global drop total
+    /// and the per-computer dispatcher rejection counters during the
+    /// serial merge, matching the per-request path's accounting.
+    ///
+    /// This mode owns boot transitions: pending `BootDone` heap events
+    /// are discarded and `Booting → On` is handled inside each lane. Do
+    /// not mix with [`ClusterSim::run_until`] within the same window.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeRanBackwards`] if `t < now`.
+    pub fn step_window(&mut self, t: f64) -> Result<(), SimError> {
+        if t < self.now {
+            return Err(SimError::TimeRanBackwards {
+                now: self.now,
+                requested: t,
+            });
+        }
+        // Batched mode handles boots machine-locally; whatever sits in
+        // the heap (BootDone orders, stale departures) is superseded.
+        self.events.clear();
+        let n = self.machines.len();
+        // Serial gather: request-id bases are allocated in machine order
+        // so id assignment is independent of the shard count.
+        let mut lanes: Vec<MachineLane> = Vec::with_capacity(n);
+        for i in 0..n {
+            let runs = std::mem::take(&mut self.pending_runs[i]);
+            let arrivals: u64 = runs.iter().map(|r| r.count).sum();
+            let id_base = self.next_request_id;
+            self.next_request_id += arrivals;
+            lanes.push(self.machines.take_lane(i, runs, id_base));
+        }
+        llc_par::par_for_each_mut(&mut lanes, |lane| lane.step(t));
+        // Serial merge in machine order: deterministic accounting.
+        for lane in lanes {
+            let i = lane.i;
+            let rejected = lane.rejected;
+            self.machines.restore_lane(lane);
+            if rejected > 0 {
+                let m = self.module_of[i];
+                self.module_stats[m].dropped += rejected;
+                self.dropped_total += rejected;
+                self.dispatch_rejected[i] += rejected;
+            }
+        }
+        self.now = t;
+        Ok(())
     }
 }
 
@@ -870,6 +1022,14 @@ mod tests {
             sim.schedule_arrival(5.0, 0.1),
             Err(SimError::TimeRanBackwards { .. })
         ));
+        assert!(matches!(
+            sim.inject_batch(5.0, 30.0, 10, 0.1),
+            Err(SimError::TimeRanBackwards { .. })
+        ));
+        assert!(matches!(
+            sim.step_window(5.0),
+            Err(SimError::TimeRanBackwards { .. })
+        ));
     }
 
     #[test]
@@ -997,5 +1157,121 @@ mod tests {
         ] {
             assert!(e.to_string().chars().next().unwrap().is_lowercase());
         }
+    }
+
+    // ----- batched window mode -------------------------------------
+
+    #[test]
+    fn batched_window_serves_like_per_request() {
+        // Same scenario driven both ways: one machine, 4 requests of
+        // 0.5 s spread evenly over a 10 s window. The batched sweep must
+        // reproduce the per-request stats and energy exactly.
+        let run = |batched: bool| {
+            let cfg = ClusterConfig {
+                modules: vec![vec![ComputerConfig::new(
+                    vec![1.0e9],
+                    PowerModel::paper_default(),
+                    0.0,
+                )]],
+            };
+            let mut sim = ClusterSim::new(cfg);
+            sim.set_module_weights(&[1.0]).unwrap();
+            sim.set_computer_weights(0, &[1.0]).unwrap();
+            sim.force_on(0);
+            if batched {
+                sim.inject_batch(0.0, 10.0, 4, 0.5).unwrap();
+                sim.step_window(10.0).unwrap();
+            } else {
+                for k in 0..4 {
+                    sim.schedule_arrival(k as f64 * 2.5, 0.5).unwrap();
+                }
+                sim.run_until(10.0).unwrap();
+            }
+            let energy = sim.total_energy();
+            (sim.drain_computer_stats(), sim.dropped(), energy)
+        };
+        let (per_req, d0, e0) = run(false);
+        let (batch, d1, e1) = run(true);
+        assert_eq!(per_req[0].arrivals, batch[0].arrivals);
+        assert_eq!(per_req[0].completions, batch[0].completions);
+        assert_eq!(per_req[0].response_sum, batch[0].response_sum);
+        assert_eq!(per_req[0].demand_sum, batch[0].demand_sum);
+        assert_eq!(d0, d1);
+        assert_eq!(e0, e1, "bit-identical energy");
+    }
+
+    #[test]
+    fn batched_arrivals_split_by_router_weights() {
+        let mut sim = two_module_cluster();
+        for i in 0..4 {
+            sim.force_on(i);
+        }
+        sim.set_module_weights(&[0.75, 0.25]).unwrap();
+        sim.set_computer_weights(0, &[0.5, 0.5]).unwrap();
+        sim.set_computer_weights(1, &[1.0, 0.0]).unwrap();
+        sim.inject_batch(0.0, 1.0, 100, 0.001).unwrap();
+        sim.step_window(10.0).unwrap();
+        let m = sim.drain_module_stats();
+        assert_eq!(m[0].arrivals, 75);
+        assert_eq!(m[1].arrivals, 25);
+        let c = sim.drain_computer_stats();
+        assert_eq!(c[0].arrivals + c[1].arrivals, 75);
+        assert_eq!(c[2].arrivals, 25);
+        assert_eq!(c[3].arrivals, 0);
+        assert_eq!(sim.dropped(), 0);
+    }
+
+    #[test]
+    fn batched_mode_handles_boot_locally() {
+        let mut sim = one_computer_cluster();
+        sim.power_on(0); // ready at 120 — no heap assistance in this mode
+        sim.inject_batch(0.0, 30.0, 1, 1.0).unwrap();
+        sim.step_window(30.0).unwrap();
+        assert!(matches!(
+            sim.computer(0).state(),
+            PowerState::Booting { .. }
+        ));
+        sim.step_window(125.0).unwrap();
+        assert_eq!(sim.computer(0).state(), PowerState::On);
+        let stats = sim.drain_computer_stats();
+        assert_eq!(stats[0].completions, 1, "queued arrival served at boot");
+    }
+
+    #[test]
+    fn batched_rejections_charged_like_per_request() {
+        // Module of two machines at 50/50 with one crashed: half the
+        // batch is refused and must show up as drops + dispatcher
+        // rejections attributed to the dead machine, exactly like the
+        // per-request stream in dispatch_rejections_attributed_to_crashed_target.
+        let comp = || ComputerConfig::new(vec![1.0e9], PowerModel::paper_default(), 0.0);
+        let cfg = ClusterConfig {
+            modules: vec![vec![comp(), comp()]],
+        };
+        let mut sim = ClusterSim::new(cfg);
+        sim.force_on(0);
+        sim.force_on(1);
+        sim.set_module_weights(&[1.0]).unwrap();
+        sim.set_computer_weights(0, &[0.5, 0.5]).unwrap();
+        sim.step_window(1.0).unwrap();
+        sim.crash(1, false);
+        sim.inject_batch(1.1, 0.5, 10, 0.001).unwrap();
+        sim.step_window(2.0).unwrap();
+        let rej = sim.drain_dispatch_rejections();
+        assert_eq!(rej[0], 0, "live machine refused nothing");
+        assert_eq!(rej[1], 5, "dead target's allotment counted at the router");
+        assert_eq!(sim.dropped(), 5);
+        let m = sim.drain_module_stats();
+        assert_eq!(m[0].arrivals, 10, "module arrivals include refused work");
+        assert_eq!(m[0].dropped, 5);
+    }
+
+    #[test]
+    fn batched_zero_weights_drop_at_injection() {
+        let mut sim = two_module_cluster();
+        sim.inject_batch(0.0, 1.0, 7, 0.01).unwrap();
+        assert_eq!(sim.dropped(), 7, "no enabled module: dropped at inject");
+        sim.step_window(1.0).unwrap();
+        let m = sim.drain_module_stats();
+        assert_eq!(m[0].arrivals + m[1].arrivals, 0);
     }
 }

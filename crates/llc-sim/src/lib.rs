@@ -10,10 +10,11 @@
 //! * [`Server`]: a FCFS single-server queue whose service rate scales with
 //!   the frequency factor `φ = u/u_max` (a request with demand `c` seconds
 //!   at full speed takes `c/φ` at frequency `u`);
-//! * [`Computer`]: a server plus a power-state machine
-//!   (`Off → Booting → On → Draining → Off`) with a configurable boot
-//!   **dead time** (the paper's 2-minute switch-on delay) and an energy
-//!   meter integrating `ψ = a + φ²` while operating;
+//! * [`MachineSlabs`]: every computer's server, power-state machine
+//!   (`Off → Booting → On → Draining → Off`, with the paper's 2-minute
+//!   switch-on **dead time**) and energy meter integrating `ψ = a + φ²`,
+//!   stored struct-of-arrays so a 1000-machine sweep walks flat slabs
+//!   ([`ComputerRef`] is the per-machine read view);
 //! * [`WeightedRouter`]: deterministic deficit-round-robin dispatching that
 //!   realizes the fractions `γ` decided by the controllers;
 //! * [`ClusterSim`]: computers partitioned into modules behind a two-level
@@ -50,16 +51,16 @@
 #![warn(missing_docs)]
 
 mod cluster;
-mod computer;
 mod dispatch;
+mod machines;
 mod metrics;
 mod power;
 mod request;
 mod server;
 
 pub use cluster::{ClusterConfig, ClusterSim, ComputerConfig, SimError};
-pub use computer::{Computer, PowerState};
 pub use dispatch::WeightedRouter;
+pub use machines::{ComputerRef, MachineSlabs, PowerState};
 pub use metrics::{EnergyMeter, WindowStats};
 pub use power::PowerModel;
 pub use request::Request;

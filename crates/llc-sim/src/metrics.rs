@@ -19,9 +19,9 @@ pub struct WindowStats {
     /// Energy drawn during the window (power·seconds, in the paper's
     /// `a + φ²` units) — the realized-power observable the closed-loop
     /// hierarchy derives per-member abstraction-map outcomes from.
-    /// Filled when the window is drained from a [`crate::Computer`] (the
-    /// meter integrates up to the drain instant); zero for router-level
-    /// module stats.
+    /// Filled when the window is drained from a machine slab (the meter
+    /// integrates up to the drain instant); zero for router-level module
+    /// stats.
     pub energy: f64,
 }
 

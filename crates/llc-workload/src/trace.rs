@@ -423,6 +423,39 @@ mod tests {
     }
 
     #[test]
+    fn csv_loader_reads_embedded_wc98_slice() {
+        // A 12-bucket slice of a WC'98-like day around the evening
+        // crest (2-minute buckets, requests per bucket) — the exact
+        // wire format `bench_scale --trace wc98` replays.
+        let slice = "\
+time_secs,count
+71280,39894
+71400,41103
+71520,42467
+71640,43912
+71760,45391
+71880,46842
+72000,48227
+72120,49551
+72240,50801
+72360,51938
+72480,52942
+72600,53801
+";
+        let t = Trace::from_csv(slice).unwrap();
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.interval(), 120.0, "interval inferred from rows");
+        assert_eq!(t.count(0), 39894.0);
+        assert_eq!(t.peak(), 53801.0);
+        assert!((t.total() - 566_869.0).abs() < 1e-9);
+        // The bench path rebuckets to 30 s controller windows and
+        // scales to the plant's capacity; both must survive the load.
+        let windows = t.rebucket(30.0).unwrap().scaled(0.5);
+        assert_eq!(windows.len(), 48);
+        assert!((windows.total() - 566_869.0 * 0.5).abs() < 1e-6);
+    }
+
+    #[test]
     fn csv_bad_line_reports_position() {
         let err = Trace::from_csv("time_secs,count\n0,1\n120,garbage\n").unwrap_err();
         assert!(matches!(err, TraceError::Parse { line: 3, .. }));
