@@ -96,26 +96,41 @@ impl SimplexGrid {
     /// Panics if the vector length differs from `dims` or all entries are
     /// zero/negative.
     pub fn snap(&self, v: &[f64]) -> Vec<f64> {
+        let mut units = Vec::new();
+        let mut rema = Vec::new();
+        self.snap_units_into(v, &mut units, &mut rema);
+        let q = self.quantum();
+        units.into_iter().map(|u| u as f64 * q).collect()
+    }
+
+    /// Snap `v` onto the grid in integer-unit form, writing the chosen
+    /// units into `out` (`rema` is remainder scratch, rewritten in
+    /// place) — the allocation-free twin of [`SimplexGrid::snap`],
+    /// selecting exactly the same grid point: `snap` yields
+    /// `out[i] · quantum` component for component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from `dims` or all entries
+    /// are zero/negative.
+    pub fn snap_units_into(&self, v: &[f64], out: &mut Vec<i64>, rema: &mut Vec<(usize, f64)>) {
         assert_eq!(v.len(), self.dims, "dimension mismatch");
         let total: f64 = v.iter().sum();
         assert!(total > 0.0, "cannot snap a non-positive vector");
-        let scaled: Vec<f64> = v
-            .iter()
-            .map(|x| (x.max(0.0) / total) * self.levels as f64)
-            .collect();
-        let mut units: Vec<usize> = scaled.iter().map(|x| x.floor() as usize).collect();
-        let assigned: usize = units.iter().sum();
-        let mut rema: Vec<(usize, f64)> = scaled
-            .iter()
-            .enumerate()
-            .map(|(i, x)| (i, x - x.floor()))
-            .collect();
+        out.clear();
+        rema.clear();
+        let mut assigned = 0usize;
+        for (i, x) in v.iter().enumerate() {
+            let scaled = (x.max(0.0) / total) * self.levels as f64;
+            let floor = scaled.floor();
+            out.push(floor as i64);
+            assigned += floor as usize;
+            rema.push((i, scaled - floor));
+        }
         rema.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         for (i, _) in rema.iter().take(self.levels - assigned) {
-            units[*i] += 1;
+            out[*i] += 1;
         }
-        let q = self.quantum();
-        units.into_iter().map(|u| u as f64 * q).collect()
     }
 
     /// All grid points one quantum-transfer away from `point`: move one
@@ -126,30 +141,56 @@ impl SimplexGrid {
     ///
     /// Panics if `point` is not on the grid (wrong length or sum ≠ 1).
     pub fn neighbors(&self, point: &[f64]) -> Vec<Vec<f64>> {
-        assert_eq!(point.len(), self.dims, "dimension mismatch");
         let q = self.quantum();
         let units: Vec<i64> = point.iter().map(|&x| (x / q).round() as i64).collect();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.for_each_neighbor_units(&units, &mut scratch, &mut |next| {
+            out.push(next.iter().map(|&u| u as f64 * q).collect());
+        });
+        out
+    }
+
+    /// Visit every single-quantum-transfer neighbor of `units` (the
+    /// integer form of a grid point: fraction / quantum), in exactly the
+    /// order [`SimplexGrid::neighbors`] enumerates them. The visitor
+    /// borrows `scratch`, which is rewritten in place between calls — the
+    /// allocation-free twin for search inner loops that would otherwise
+    /// pay a `Vec<Vec<f64>>` per hill-climb round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is not on the grid (wrong length or sum ≠
+    /// levels).
+    pub fn for_each_neighbor_units(
+        &self,
+        units: &[i64],
+        scratch: &mut Vec<i64>,
+        f: &mut dyn FnMut(&[i64]),
+    ) {
+        assert_eq!(units.len(), self.dims, "dimension mismatch");
         assert_eq!(
             units.iter().sum::<i64>(),
             self.levels as i64,
             "point is not on the simplex grid"
         );
-        let mut out = Vec::new();
+        scratch.clear();
+        scratch.extend_from_slice(units);
         for from in 0..self.dims {
             if units[from] == 0 {
                 continue;
             }
+            scratch[from] -= 1;
             for to in 0..self.dims {
                 if to == from {
                     continue;
                 }
-                let mut next = units.clone();
-                next[from] -= 1;
-                next[to] += 1;
-                out.push(next.iter().map(|&u| u as f64 * q).collect());
+                scratch[to] += 1;
+                f(scratch);
+                scratch[to] -= 1;
             }
+            scratch[from] += 1;
         }
-        out
     }
 }
 
@@ -226,6 +267,46 @@ mod tests {
         let g = SimplexGrid::with_quantum(3, 0.1);
         let n = g.neighbors(&[1.0, 0.0, 0.0]);
         assert_eq!(n.len(), 2, "only the loaded component can give");
+    }
+
+    #[test]
+    fn neighbor_visitor_matches_vec_enumeration() {
+        let g = SimplexGrid::with_quantum(4, 0.05);
+        let q = g.quantum();
+        for point in [
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.5, 0.3, 0.2, 0.0],
+        ] {
+            let expect = g.neighbors(&point);
+            let units: Vec<i64> = point.iter().map(|&x| (x / q).round() as i64).collect();
+            let mut scratch = Vec::new();
+            let mut got: Vec<Vec<f64>> = Vec::new();
+            g.for_each_neighbor_units(&units, &mut scratch, &mut |n| {
+                got.push(n.iter().map(|&u| u as f64 * q).collect());
+            });
+            assert_eq!(expect, got, "visitor must reproduce order for {point:?}");
+            assert_eq!(scratch, units, "scratch restored between visits");
+        }
+    }
+
+    #[test]
+    fn snap_units_matches_snap() {
+        let g = SimplexGrid::with_quantum(4, 0.05);
+        let q = g.quantum();
+        let mut units = Vec::new();
+        let mut rema = Vec::new();
+        for v in [
+            vec![0.3, 0.5, 0.2, 0.1],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![0.013, 0.87, 0.11, 0.006],
+            vec![5.0, 0.0, 0.0, 0.1],
+        ] {
+            let snapped = g.snap(&v);
+            g.snap_units_into(&v, &mut units, &mut rema);
+            let from_units: Vec<f64> = units.iter().map(|&u| u as f64 * q).collect();
+            assert_eq!(snapped, from_units, "same grid point for {v:?}");
+        }
     }
 
     #[test]

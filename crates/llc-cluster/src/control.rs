@@ -368,6 +368,13 @@ pub struct LatencyStats {
     pub total: Duration,
     /// The slowest single decision.
     pub max: Duration,
+    /// Search effort behind the latencies: candidate α configurations
+    /// whose γ search actually ran across the policy's L1 decisions.
+    pub candidates_evaluated: u64,
+    /// Candidate α configurations skipped by the branch-and-bound
+    /// admissible lower bound — work the decide path *didn't* do. The
+    /// pruned fraction explains a latency shift without a profiler.
+    pub candidates_pruned: u64,
 }
 
 impl LatencyStats {
@@ -434,6 +441,10 @@ pub struct PolicyMetrics {
     pub feed_forward_events: u64,
     /// Per-level wall-clock decide overhead, indexed `[L0, L1, L2]`.
     pub level_overhead: [LevelOverhead; 3],
+    /// Candidate α configurations γ-searched across all L1 decisions.
+    pub l1_candidates_evaluated: u64,
+    /// Candidate α configurations pruned by the L1 branch-and-bound.
+    pub l1_candidates_pruned: u64,
 }
 
 impl PolicyMetrics {
@@ -811,6 +822,13 @@ impl<P: ClusterPolicy> ControlPlane<P> {
     /// Snapshot every operational counter: the driver's and the
     /// policy's.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let policy = self.policy.metrics();
+        // The decide-latency stats carry the policy's search-effort
+        // counters alongside the wall-clock numbers, so one read
+        // explains the other.
+        let mut decide = self.decide;
+        decide.candidates_evaluated = policy.l1_candidates_evaluated;
+        decide.candidates_pruned = policy.l1_candidates_pruned;
         MetricsSnapshot {
             next_tick: self.next_tick,
             ticks_decided: self.next_tick,
@@ -819,8 +837,8 @@ impl<P: ClusterPolicy> ControlPlane<P> {
             stale_observations: self.stale,
             dark_filled_members: self.dark_filled,
             directives_emitted: self.emitted,
-            decide: self.decide,
-            policy: self.policy.metrics(),
+            decide,
+            policy,
         }
     }
 }

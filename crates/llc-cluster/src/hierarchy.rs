@@ -49,6 +49,32 @@ impl LevelOverhead {
     }
 }
 
+/// Decision inputs one module's L1 tick computes in the serial prep
+/// phase — everything the (possibly parallel) decide phase needs, so the
+/// decide jobs touch no shared state.
+struct ModulePrep {
+    queues: Vec<usize>,
+    active: Vec<bool>,
+    dead_pos: Vec<bool>,
+    live_count: usize,
+    safe_mode: bool,
+    /// Which member positions are powered `On` (the safe-mode split
+    /// shares load over these).
+    power_on: Vec<bool>,
+    /// Wall time the serial prep spent on this module.
+    prep: Duration,
+}
+
+/// One module's decide job: exclusive access to its own L1 controller
+/// plus its prepared inputs. Jobs are disjoint, so
+/// [`llc_par::par_for_each_mut`] can fan the decides out across workers
+/// while each decision stays bit-identical to the serial loop.
+struct DecideJob<'a> {
+    l1: &'a mut L1Controller,
+    prep: ModulePrep,
+    out: Option<(L1Decision, Duration)>,
+}
+
 /// How the hierarchy closes its own feedback loop (the paper's Fig. 2 is
 /// a *closed-loop* controller; before this mode existed the online path
 /// had to be driven by harness code calling
@@ -727,12 +753,38 @@ impl HierarchicalPolicy {
                         c_prior: c_eff,
                     })
                     .collect();
+                // Re-estimate each member's learning envelope from the
+                // ranges its observation log actually visited: headroom
+                // (×1.5 on λ, ×2 on q₀) above the visited ceiling,
+                // floored so the overload knee (capacity ≈ 1/ĉ_eff)
+                // always stays inside the grid, capped at the static
+                // envelope. Same grid steps over a tighter box = finer
+                // cells exactly where the traffic lives. Members with no
+                // recorded outcomes keep the static envelope.
+                let envelopes: Vec<((f64, f64), f64, f64)> = specs
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, spec)| {
+                        let (c_range, lambda_default, q_default) = spec.learn_envelope();
+                        match self.l1s[m].visited_envelope(pos) {
+                            Some((lambda_vis, q_vis)) => {
+                                let lambda_floor = 1.25 / spec.c_prior;
+                                let lambda_max =
+                                    (lambda_vis * 1.5).clamp(lambda_floor, lambda_default);
+                                let q_max = (q_vis * 2.0).clamp(25.0, q_default);
+                                (c_range, lambda_max, q_max)
+                            }
+                            None => (c_range, lambda_default, q_default),
+                        }
+                    })
+                    .collect();
                 let old_maps: Vec<Arc<AbstractionMap>> = (0..specs.len())
                     .map(|pos| Arc::clone(self.l1s[m].map_arc(pos)))
                     .collect();
                 ModuleRebuildJob {
                     module: m,
                     specs,
+                    envelopes,
                     old_maps,
                     rebuild_model: has_l2,
                 }
@@ -1107,7 +1159,12 @@ impl ClusterPolicy for HierarchicalPolicy {
             // Hot-swap a finished background rebuild in *before* this
             // round of decisions, so the fresh maps serve immediately.
             self.apply_ready_retrain(obs.tick);
-            let mut total_active = 0usize;
+
+            // Phase A (serial): per-module observation plumbing, closed
+            // loop measurement/learning, and decision inputs. This leg
+            // mutates shared state (filters, outcome logs, maps), so it
+            // stays ordered.
+            let mut preps: Vec<ModulePrep> = Vec::with_capacity(self.members.len());
             for m in 0..self.members.len() {
                 let started = Instant::now();
                 // Push the drift-aware L0s' capacity scales up: this
@@ -1237,32 +1294,57 @@ impl ClusterPolicy for HierarchicalPolicy {
                 if let Some(ft) = self.fault_tolerance.as_mut() {
                     ft.safe_now[m] = safe_mode;
                 }
-                let decision = if live_count == 0 {
+                let power_on: Vec<bool> = self.members[m]
+                    .iter()
+                    .map(|&i| matches!(obs.computers[i].state, PowerState::On))
+                    .collect();
+                preps.push(ModulePrep {
+                    queues,
+                    active,
+                    dead_pos,
+                    live_count,
+                    safe_mode,
+                    power_on,
+                    prep: started.elapsed(),
+                });
+            }
+
+            // Phase B: the per-module decides — the dominant L1 cost —
+            // fan out over the shared worker pool. Each job owns
+            // disjoint state (its own controller, its own inputs), so
+            // every decision is bit-identical to the serial loop at any
+            // worker count; a single-worker pool runs them inline.
+            let mut jobs: Vec<DecideJob<'_>> = self
+                .l1s
+                .iter_mut()
+                .zip(preps)
+                .map(|(l1, prep)| DecideJob {
+                    l1,
+                    prep,
+                    out: None,
+                })
+                .collect();
+            llc_par::par_for_each_mut(&mut jobs, |job| {
+                let started = Instant::now();
+                let p = &job.prep;
+                let decision = if p.live_count == 0 {
                     // Every member is dead: nothing to decide, route and
                     // order nothing, wait for a rejoin.
                     L1Decision {
-                        alpha: vec![false; dead_pos.len()],
-                        gamma: vec![0.0; dead_pos.len()],
+                        alpha: vec![false; p.dead_pos.len()],
+                        gamma: vec![0.0; p.dead_pos.len()],
                         expected_cost: f64::INFINITY,
                         states_evaluated: 0,
+                        candidates_evaluated: 0,
+                        candidates_pruned: 0,
                     }
-                } else if safe_mode {
-                    self.fault_tolerance
-                        .as_mut()
-                        .expect("ft_on")
-                        .safe_mode_periods += 1;
-                    let alpha: Vec<bool> = dead_pos.iter().map(|&d| !d).collect();
+                } else if p.safe_mode {
+                    let alpha: Vec<bool> = p.dead_pos.iter().map(|&d| !d).collect();
                     let serving: Vec<usize> = (0..alpha.len())
-                        .filter(|&pos| {
-                            !dead_pos[pos]
-                                && matches!(
-                                    obs.computers[self.members[m][pos]].state,
-                                    PowerState::On
-                                )
-                        })
+                        .filter(|&pos| !p.dead_pos[pos] && p.power_on[pos])
                         .collect();
                     let share_set: Vec<usize> = if serving.is_empty() {
-                        (0..alpha.len()).filter(|&pos| !dead_pos[pos]).collect()
+                        (0..alpha.len()).filter(|&pos| !p.dead_pos[pos]).collect()
                     } else {
                         serving
                     };
@@ -1275,12 +1357,47 @@ impl ClusterPolicy for HierarchicalPolicy {
                         gamma,
                         expected_cost: f64::INFINITY,
                         states_evaluated: 0,
+                        candidates_evaluated: 0,
+                        candidates_pruned: 0,
                     }
                 } else if ft_on {
-                    self.l1s[m].decide_excluding(&queues, &active, &dead_pos)
+                    job.l1
+                        .decide_excluding(&job.prep.queues, &job.prep.active, &job.prep.dead_pos)
                 } else {
-                    self.l1s[m].decide(&queues, &active)
+                    job.l1.decide(&job.prep.queues, &job.prep.active)
                 };
+                job.out = Some((decision, started.elapsed()));
+            });
+
+            // Phase C (serial, module order): merge. Invariant checks,
+            // fault-tolerance bookkeeping, closed-loop anchoring, power
+            // and routing actions — deterministic regardless of how
+            // phase B was scheduled. Consuming the jobs also releases
+            // the controller borrows for the retrain trigger below.
+            let merged: Vec<(ModulePrep, L1Decision, Duration)> = jobs
+                .into_iter()
+                .map(|job| {
+                    let (decision, spent) = job.out.expect("phase B decided every module");
+                    (job.prep, decision, spent)
+                })
+                .collect();
+            let mut total_active = 0usize;
+            for (m, (prep, decision, decide_time)) in merged.into_iter().enumerate() {
+                let started = Instant::now();
+                let ModulePrep {
+                    active,
+                    dead_pos,
+                    live_count,
+                    safe_mode,
+                    prep: prep_time,
+                    ..
+                } = prep;
+                if safe_mode {
+                    self.fault_tolerance
+                        .as_mut()
+                        .expect("ft_on")
+                        .safe_mode_periods += 1;
+                }
                 // Membership invariants: a dead member gets no load and
                 // the live shares form a full split.
                 debug_assert!(
@@ -1386,7 +1503,10 @@ impl ClusterPolicy for HierarchicalPolicy {
                     "routed weight on a dead member"
                 );
                 actions.push(Action::SetComputerWeights(m, routed));
-                self.overhead[1].record(started.elapsed());
+                // One record per module per L1 tick, as before: the
+                // module's serial prep + its own decide time (not the
+                // phase's wall clock) + its merge leg.
+                self.overhead[1].record(prep_time + decide_time + started.elapsed());
             }
             self.active_history.push((obs.tick, total_active));
             if let Some(cl) = self.closed_loop.as_mut() {
@@ -1461,6 +1581,8 @@ impl ClusterPolicy for HierarchicalPolicy {
                 .map_or_else(Vec::new, |ft| ft.safe_now.clone()),
             feed_forward_events: self.feed_forward_events,
             level_overhead: self.overhead,
+            l1_candidates_evaluated: self.l1s.iter().map(|l| l.candidates_evaluated()).sum(),
+            l1_candidates_pruned: self.l1s.iter().map(|l| l.candidates_pruned()).sum(),
         }
     }
 }

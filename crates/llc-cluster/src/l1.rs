@@ -1,11 +1,9 @@
 use crate::{L0Config, L0Controller};
 use llc_approx::{
-    train_dense, train_table, Blend, BlendConfig, BlendSchedule, CostMap, DenseGrid, GridSampler,
-    LookupTable, SimplexGrid,
+    train_dense, train_table, Blend, BlendConfig, BlendSchedule, CostMap, DenseGrid, DenseSlab,
+    GridSampler, LookupTable, SimplexGrid,
 };
-use llc_core::{
-    BoundedSearch, DriftDetector, LearnRate, ObservationLog, OnlineConfig, UncertaintyBand,
-};
+use llc_core::{DriftDetector, LearnRate, ObservationLog, OnlineConfig, UncertaintyBand};
 use llc_forecast::{Ewma, Forecaster, LocalLinearTrend};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -127,6 +125,16 @@ pub struct AbstractionMap {
     /// it (the maps are `Arc`-shared). Keyed by exact bit patterns:
     /// cached answers are bit-identical to fresh replays.
     replay_cache: Mutex<HashMap<(u64, u64, u64), GEntry>>,
+    /// Bumped whenever a table cell's *value* may have changed (online
+    /// blends, reseeds) — the cost-slab cache below keys on it.
+    version: u64,
+    /// Lazily built struct-of-arrays projection of the dense table's
+    /// `cost` field (see [`DenseSlab`]), tagged with the `version` it was
+    /// built at. The L1 γ search fills whole cost lanes from this —
+    /// contiguous `f64` reads instead of per-probe strided [`GEntry`]
+    /// lookups. `None` cache or a stale tag rebuilds on demand; the hash
+    /// substrate never populates it.
+    cost_slab: Mutex<Option<(u64, Arc<DenseSlab>)>>,
 }
 
 impl Clone for AbstractionMap {
@@ -138,9 +146,11 @@ impl Clone for AbstractionMap {
             steps_per_period: self.steps_per_period,
             l0: self.l0,
             phis: self.phis.clone(),
-            // A fresh cache: cheaper to refill than to deep-copy, and
-            // semantically invisible (pure function memo).
+            // Fresh caches: cheaper to refill than to deep-copy, and
+            // semantically invisible (pure derivations of the table).
             replay_cache: Mutex::new(HashMap::new()),
+            version: self.version,
+            cost_slab: Mutex::new(None),
         }
     }
 }
@@ -262,6 +272,8 @@ impl AbstractionMap {
             l0: *l0,
             phis: phis.to_vec(),
             replay_cache: Mutex::new(HashMap::new()),
+            version: 0,
+            cost_slab: Mutex::new(None),
         }
     }
 
@@ -341,14 +353,13 @@ impl AbstractionMap {
             // ever-fresh forecast-derived values instead. The cap keeps
             // the memo effective for the former without letting the
             // latter grow it without bound (~3 MB at the cap).
-            const REPLAY_CACHE_CAP: usize = 65_536;
             let key = (lambda.to_bits(), c.to_bits(), q0.to_bits());
             if let Some(entry) = self.replay_cache.lock().expect("cache lock").get(&key) {
                 return *entry;
             }
             let entry = self.replay(lambda, c, q0);
             let mut cache = self.replay_cache.lock().expect("cache lock");
-            if cache.len() < REPLAY_CACHE_CAP {
+            if cache.len() < Self::REPLAY_CACHE_CAP {
                 cache.insert(key, entry);
             }
             return entry;
@@ -397,12 +408,18 @@ impl AbstractionMap {
     ) -> f64 {
         let lambda = lambda.max(0.0);
         let q0 = q0.max(0.0);
-        self.table.update(&[lambda, c, q0], &outcome, blend)
+        let w = self.table.update(&[lambda, c, q0], &outcome, blend);
+        if w > 0.0 {
+            self.version += 1;
+        }
+        w
     }
 
     /// Staleness sweep: shrink every cell's online confidence by
     /// `factor`, so cells the traffic left behind re-adapt quickly when
     /// it returns. Batched over `llc-par` on the dense substrate.
+    /// Confidence is metadata — cell *values* are untouched, so the
+    /// cost-slab cache stays valid.
     pub fn decay_confidence(&mut self, factor: f64) {
         self.table.decay_confidence(factor);
     }
@@ -435,6 +452,9 @@ impl AbstractionMap {
                     applied += 1;
                 }
             });
+        if applied > 0 {
+            self.version += 1;
+        }
         applied
     }
 
@@ -453,6 +473,109 @@ impl AbstractionMap {
             power,
             final_q,
         }
+    }
+
+    /// Cap on the out-of-grid replay memo (~3 MB of entries).
+    const REPLAY_CACHE_CAP: usize = 65_536;
+
+    /// Batched [`AbstractionMap::query`]: resolve many `(λ, ĉ, q₀)`
+    /// points at once, answering each exactly as the scalar path would
+    /// (same table probes, same replay-cache consultation) but replaying
+    /// all cache misses through one lockstep
+    /// [`L0Controller::simulate_model_batch`] call — the decision core's
+    /// out-of-grid lane fills land here. Hash-backed maps fall through
+    /// to scalar queries (they have no replay memo to batch against).
+    pub fn query_batch(&self, points: &[(f64, f64, f64)]) -> Vec<GEntry> {
+        if !matches!(self.table, GTable::Dense(_)) {
+            return points
+                .iter()
+                .map(|&(l, c, q)| self.query(l, c, q))
+                .collect();
+        }
+        let mut out: Vec<Option<GEntry>> = vec![None; points.len()];
+        let mut miss_idx: Vec<usize> = Vec::new();
+        let mut miss_pts: Vec<(f64, f64, f64)> = Vec::new();
+        {
+            let cache = self.replay_cache.lock().expect("cache lock");
+            for (i, &(lambda, c, q0)) in points.iter().enumerate() {
+                let lambda = lambda.max(0.0);
+                let q0 = q0.max(0.0);
+                if lambda <= self.lambda_max && q0 <= self.q_max {
+                    out[i] = Some(self.table.get(&[lambda, c, q0]));
+                } else if let Some(entry) =
+                    cache.get(&(lambda.to_bits(), c.to_bits(), q0.to_bits()))
+                {
+                    out[i] = Some(*entry);
+                } else {
+                    miss_idx.push(i);
+                    // simulate_model_batch lanes are (q₀, λ, ĉ) — and the
+                    // scalar replay floors ĉ, so match it exactly.
+                    miss_pts.push((q0, lambda, c.max(1e-6)));
+                }
+            }
+        }
+        if !miss_pts.is_empty() {
+            let replayed = L0Controller::simulate_model_batch(
+                &self.l0,
+                &self.phis,
+                &miss_pts,
+                self.steps_per_period,
+            );
+            let mut cache = self.replay_cache.lock().expect("cache lock");
+            for (k, &i) in miss_idx.iter().enumerate() {
+                let (cost, power, final_q) = replayed[k];
+                let entry = GEntry {
+                    cost,
+                    power,
+                    final_q,
+                };
+                let (lambda, c, q0) = points[i];
+                let key = (
+                    lambda.max(0.0).to_bits(),
+                    c.to_bits(),
+                    q0.max(0.0).to_bits(),
+                );
+                if cache.len() < Self::REPLAY_CACHE_CAP {
+                    cache.insert(key, entry);
+                }
+                out[i] = Some(entry);
+            }
+        }
+        out.into_iter()
+            .map(|e| e.expect("every point resolved"))
+            .collect()
+    }
+
+    /// The struct-of-arrays projection of the dense table's `cost` field,
+    /// rebuilt lazily whenever an online blend or reseed has touched cell
+    /// values since the last build (`None` on the hash substrate). Values
+    /// read through the slab are bit-identical to
+    /// [`AbstractionMap::query`]'s in-grid probes — same per-axis
+    /// clamp-and-stride indexing, same stored `f64`s.
+    pub fn cost_slab(&self) -> Option<Arc<DenseSlab>> {
+        let grid = match &self.table {
+            GTable::Dense(grid) => grid,
+            GTable::Hash(_) => return None,
+        };
+        let mut cached = self.cost_slab.lock().expect("slab lock");
+        if let Some((version, slab)) = cached.as_ref() {
+            if *version == self.version {
+                return Some(Arc::clone(slab));
+            }
+        }
+        let slab = Arc::new(grid.project(|e| e.cost));
+        *cached = Some((self.version, Arc::clone(&slab)));
+        Some(slab)
+    }
+
+    /// Upper edge of the trained arrival-rate grid (req/s).
+    pub fn trained_lambda_max(&self) -> f64 {
+        self.lambda_max
+    }
+
+    /// Upper edge of the trained initial-queue grid.
+    pub fn trained_q_max(&self) -> f64 {
+        self.q_max
     }
 }
 
@@ -479,6 +602,14 @@ pub struct L1Config {
     /// candidate configurations whose expected power draw exceeds the
     /// budget are infeasible. `None` = unconstrained.
     pub power_budget: Option<f64>,
+    /// Branch-and-bound over the candidate α vectors: order them by an
+    /// admissible lower bound (switch-on penalty + drain cost — both map
+    /// costs are ≥ 0, so the bound never exceeds a candidate's true
+    /// total) and skip the γ search for any candidate whose bound
+    /// already exceeds the incumbent. Picks the *same* decision as the
+    /// exhaustive sweep (see the decision-core golden tests); disable
+    /// for ablation or to measure the pruning win.
+    pub pruned_search: bool,
 }
 
 impl L1Config {
@@ -493,6 +624,7 @@ impl L1Config {
             search_evals: 4_000,
             use_uncertainty_band: true,
             power_budget: None,
+            pruned_search: true,
         }
     }
 }
@@ -507,8 +639,15 @@ pub struct L1Decision {
     /// Expected (band-averaged) cost of the chosen configuration.
     pub expected_cost: f64,
     /// Candidate states evaluated during the search (overhead metric —
-    /// the paper reports ~858 per period for m = 4).
+    /// the paper reports ~858 per period for m = 4). Under the pruned
+    /// search this counts only the candidates actually γ-searched, so it
+    /// drops as pruning bites.
     pub states_evaluated: usize,
+    /// Candidate α vectors whose γ search actually ran.
+    pub candidates_evaluated: usize,
+    /// Candidate α vectors skipped because their admissible lower bound
+    /// already exceeded the incumbent's total cost.
+    pub candidates_pruned: usize,
 }
 
 /// Static description of one module member as the L1 controller sees it.
@@ -552,6 +691,55 @@ impl MemberSpec {
     }
 }
 
+/// Every per-decision buffer [`L1Controller::decide`] needs, owned by
+/// the controller and reused across decisions so the steady decide path
+/// performs no heap allocation. Taken off the controller with
+/// `std::mem::take` for the duration of a decision (the borrow checker
+/// cannot see that the buffers and the rest of `self` are disjoint
+/// across the closures the search builds) and restored at the end.
+#[derive(Debug, Clone, Default)]
+struct DecideScratch {
+    /// γ cost lanes: `lanes[(j·3 + s)·(levels+1) + u]` is the map cost
+    /// of routing `u` γ quanta to member `j` under band sample `s` —
+    /// filled lazily, one (member, unit) column at a time as the
+    /// hill-climbs actually visit it, then read by every candidate's
+    /// evaluation as three flat loads per active member. Kept
+    /// per-sample (not pre-summed across the band) so the evaluator
+    /// can reproduce the scalar objective's summation order bit for
+    /// bit.
+    lanes: Vec<f64>,
+    /// Which `(member, unit)` lane columns are filled this decision.
+    lane_filled: Vec<bool>,
+    /// Candidate α vectors, flattened `m` entries per candidate.
+    candidates: Vec<bool>,
+    /// Per-candidate switch-on penalty.
+    switch_costs: Vec<f64>,
+    /// Per-candidate backlog-drain charge for shed members.
+    drain_sums: Vec<f64>,
+    /// Per-candidate admissible lower bound (switch + drain).
+    bounds: Vec<f64>,
+    /// Candidate visit order (bound-sorted under the pruned search).
+    order: Vec<usize>,
+    /// Per-member zero-load backlog drain cost.
+    drain_costs: Vec<f64>,
+    /// Hill-climb state: current γ split in grid units.
+    climb_units: Vec<i64>,
+    /// Neighbor-enumeration workspace for the simplex visitor.
+    scratch_units: Vec<i64>,
+    /// Best neighbor found in the current climb round.
+    round_units: Vec<i64>,
+    /// Indices of the members active under the current candidate.
+    active_idx: Vec<usize>,
+    /// Warm-start load split over the active members.
+    weights: Vec<f64>,
+    /// Largest-remainder workspace for `SimplexGrid::snap_units_into`.
+    snap_rema: Vec<(usize, f64)>,
+    /// Per-member effective processing-time estimates for this decision.
+    cs: Vec<f64>,
+    /// Cached all-false liveness vector for the plain `decide` wrapper.
+    no_dead: Vec<bool>,
+}
+
 /// The module controller (§4.2): decides `{α_j}` and `{γ_j}` by bounded
 /// search over the abstraction maps, with three-sample arrival-rate
 /// banding for chattering mitigation.
@@ -588,11 +776,20 @@ pub struct L1Controller {
     forecast_history: Vec<(f64, f64)>,
     total_states: u64,
     decisions: u64,
-    /// Per-decision memo for *out-of-grid* map queries (analytic-model
-    /// replays), keyed by `(member, band sample, γ quanta)`. Kept across
-    /// decisions as scratch so the table allocation is reused; cleared at
-    /// the start of every decision.
-    replay_memo: HashMap<(usize, usize, i64), f64>,
+    /// Lifetime count of candidate α vectors whose γ search ran.
+    total_candidates_evaluated: u64,
+    /// Lifetime count of candidate α vectors pruned by the bound.
+    total_candidates_pruned: u64,
+    /// Per-decision buffers, reused so the steady decide path performs
+    /// no heap allocation (see [`DecideScratch`]).
+    scratch: DecideScratch,
+    /// Highest arrival rate each member's recorded outcomes have visited
+    /// (drives retrain envelope re-estimation).
+    visited_lambda_max: Vec<f64>,
+    /// Deepest initial queue each member's recorded outcomes have visited.
+    visited_q_max: Vec<f64>,
+    /// Outcomes recorded per member (0 = no visited envelope yet).
+    visited_outcomes: Vec<u64>,
     /// Online learning state: one outcome log per member plus the knobs,
     /// present once [`L1Controller::enable_online`] has been called.
     online: Option<OnlineL1>,
@@ -666,7 +863,12 @@ impl L1Controller {
             forecast_history: Vec::new(),
             total_states: 0,
             decisions: 0,
-            replay_memo: HashMap::new(),
+            total_candidates_evaluated: 0,
+            total_candidates_pruned: 0,
+            scratch: DecideScratch::default(),
+            visited_lambda_max: vec![0.0; m],
+            visited_q_max: vec![0.0; m],
+            visited_outcomes: vec![0; m],
             online: None,
         }
     }
@@ -735,6 +937,22 @@ impl L1Controller {
             .as_mut()
             .expect("call enable_online before record_outcome");
         online.logs[member].push(vec![lambda.max(0.0), c, q0.max(0.0)], realized, tick);
+        self.visited_lambda_max[member] = self.visited_lambda_max[member].max(lambda.max(0.0));
+        self.visited_q_max[member] = self.visited_q_max[member].max(q0.max(0.0));
+        self.visited_outcomes[member] += 1;
+    }
+
+    /// The `(λ, q₀)` ceiling `member`'s recorded outcomes have actually
+    /// visited, once any outcome exists. Retrain envelope re-estimation
+    /// reads this so rebuilt maps size their grids to live traffic
+    /// instead of scalar ĉ/ŝ snapshots alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range.
+    pub fn visited_envelope(&self, member: usize) -> Option<(f64, f64)> {
+        (self.visited_outcomes[member] > 0)
+            .then(|| (self.visited_lambda_max[member], self.visited_q_max[member]))
     }
 
     /// Drain every member's outcome log into its abstraction map (oldest
@@ -954,16 +1172,27 @@ impl L1Controller {
     /// any completion), divided by the member's delivered-capacity scale
     /// ŝ — at nominal scale exactly the paper's estimate.
     pub fn c_estimates(&self) -> Vec<f64> {
-        self.members
-            .iter()
-            .zip(&self.c_filters)
-            .zip(&self.member_scales)
-            .map(|((m, f), s)| {
-                let c = f.estimate();
-                let c = if c > 0.0 { c } else { m.c_prior };
-                c / s
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.c_estimates_into(&mut out);
+        out
+    }
+
+    /// [`c_estimates`](Self::c_estimates) into a caller-owned buffer —
+    /// the decide path refreshes its scratch copy through this to keep
+    /// the steady loop allocation-free.
+    fn c_estimates_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.members
+                .iter()
+                .zip(&self.c_filters)
+                .zip(&self.member_scales)
+                .map(|((m, f), s)| {
+                    let c = f.estimate();
+                    let c = if c > 0.0 { c } else { m.c_prior };
+                    c / s
+                }),
+        );
     }
 
     /// Aggregate (mean) processing-time estimate — the module state
@@ -1008,6 +1237,17 @@ impl L1Controller {
         }
     }
 
+    /// Candidate α vectors whose γ search ran, across all decisions.
+    pub fn candidates_evaluated(&self) -> u64 {
+        self.total_candidates_evaluated
+    }
+
+    /// Candidate α vectors pruned by the admissible bound, across all
+    /// decisions. Zero while `pruned_search` is off.
+    pub fn candidates_pruned(&self) -> u64 {
+        self.total_candidates_pruned
+    }
+
     /// Decide `{α_j}` and `{γ_j}` given each member's observed queue.
     ///
     /// `active` is the current plant state (booting counts as active).
@@ -1016,8 +1256,14 @@ impl L1Controller {
     ///
     /// Panics if slice lengths disagree with the member count.
     pub fn decide(&mut self, queues: &[usize], active: &[bool]) -> L1Decision {
-        let dead = vec![false; self.members.len()];
-        self.decide_excluding(queues, active, &dead)
+        // Borrowed out of the scratch (not rebuilt) so the common
+        // no-exclusions path stays allocation-free.
+        let mut dead = std::mem::take(&mut self.scratch.no_dead);
+        dead.clear();
+        dead.resize(self.members.len(), false);
+        let decision = self.decide_excluding(queues, active, &dead);
+        self.scratch.no_dead = dead;
+        decision
     }
 
     /// [`decide`](Self::decide) over the surviving membership only: members
@@ -1061,134 +1307,291 @@ impl L1Controller {
             lambda_hat,
             lambda_hat + delta,
         ];
-        let cs = self.c_estimates();
         let mut states = 0usize;
 
-        // Per-decision memo over the quantized query space, for
-        // *out-of-grid* queries only: γ is a multiple of the quantum and
-        // queues are fixed within a decision, so each (computer, band
-        // sample, γ step) analytic replay is computed once — this keeps
-        // deep-backlog decisions at a few hundred model rolls instead of
-        // hundreds of thousands. In-grid queries bypass the memo: a dense
-        // probe is cheaper than the memo's own hash. The table itself is
-        // controller-owned scratch, so its allocation survives decisions.
-        self.replay_memo.clear();
-        let memo = &mut self.replay_memo;
         let quantum = self.config.gamma_quantum;
+        let levels = (1.0 / quantum).round() as usize;
+        let lane_w = levels + 1;
+        let max_rounds = self.config.search_rounds;
+        let max_evals = self.config.search_evals;
+        // All per-decision buffers live in controller-owned scratch, so
+        // the steady decide path allocates nothing; taken out of `self`
+        // so the candidate loop can borrow maps/members freely.
+        let mut ds = std::mem::take(&mut self.scratch);
+        self.c_estimates_into(&mut ds.cs);
+        let cs = &ds.cs;
         // Cost of draining each computer's standing queue at zero load.
-        let drain_costs: Vec<f64> = (0..m)
-            .map(|j| {
-                if queues[j] > 0 {
-                    self.maps[j].query(0.0, cs[j], queues[j] as f64).cost
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        ds.drain_costs.clear();
+        ds.drain_costs.extend((0..m).map(|j| {
+            if queues[j] > 0 {
+                self.maps[j].query(0.0, cs[j], queues[j] as f64).cost
+            } else {
+                0.0
+            }
+        }));
 
         // Candidate α vectors — the "limited neighborhood" of the current
         // configuration: keep, single toggles, pairs of switch-ons (so a
         // sharp load step can recruit two machines in one period), and
         // everything-on as the escape hatch for deep overload. Dead
         // members are forced off in the base state and never toggled.
-        let base: Vec<bool> = (0..m).map(|j| active[j] && !dead[j]).collect();
-        let mut candidates: Vec<Vec<bool>> = vec![base.clone()];
+        // Candidates are flattened `m` entries apiece; the base state
+        // occupies the first chunk, so toggles copy it from within.
+        ds.candidates.clear();
+        ds.candidates.extend((0..m).map(|j| active[j] && !dead[j]));
+        let mut off_count = 0usize;
         for j in (0..m).filter(|&j| !dead[j]) {
-            let mut alt = base.clone();
-            alt[j] = !alt[j];
-            if alt.iter().filter(|&&a| a).count() >= min_active {
-                candidates.push(alt);
+            if !ds.candidates[j] {
+                off_count += 1;
+            }
+            let start = ds.candidates.len();
+            ds.candidates.extend_from_within(0..m);
+            ds.candidates[start + j] = !ds.candidates[start + j];
+            let on = ds.candidates[start..start + m]
+                .iter()
+                .filter(|&&a| a)
+                .count();
+            if on < min_active {
+                ds.candidates.truncate(start);
             }
         }
-        let off: Vec<usize> = (0..m).filter(|&j| !base[j] && !dead[j]).collect();
-        for (i, &a) in off.iter().enumerate() {
-            for &b in &off[i + 1..] {
-                let mut alt = base.clone();
-                alt[a] = true;
-                alt[b] = true;
-                candidates.push(alt);
-            }
-        }
-        if off.len() > 2 {
-            candidates.push((0..m).map(|j| !dead[j]).collect());
-        }
-
-        let mut best: Option<(f64, Vec<bool>, Vec<f64>)> = None;
-        for alpha in candidates {
-            let active_idx: Vec<usize> = (0..m).filter(|&j| alpha[j]).collect();
-            if active_idx.is_empty() {
+        // Plain index loops: the body appends to `ds.candidates`, so an
+        // iterator over it would hold the borrow the push needs.
+        #[allow(clippy::needless_range_loop)]
+        for a in 0..m {
+            if ds.candidates[a] || dead[a] {
                 continue;
             }
-            let switch_cost = self.config.switch_on_penalty
+            for b in a + 1..m {
+                if ds.candidates[b] || dead[b] {
+                    continue;
+                }
+                let start = ds.candidates.len();
+                ds.candidates.extend_from_within(0..m);
+                ds.candidates[start + a] = true;
+                ds.candidates[start + b] = true;
+            }
+        }
+        if off_count > 2 {
+            ds.candidates.extend((0..m).map(|j| !dead[j]));
+        }
+        let ncand = ds.candidates.len() / m;
+
+        // Per-candidate switch-on penalty and backlog-drain charge. A
+        // machine ordered off still has to drain its queue (and cannot
+        // take new work while doing so) — without the drain term,
+        // shedding the most backlogged machine looks free. Both terms
+        // need no map probe beyond the precomputed drain costs, and
+        // their sum is an *admissible lower bound* on the candidate's
+        // total: every map cost is ≥ 0 (absolute-value penalties over
+        // slack and power), so the γ search's band-averaged term can
+        // only add to it.
+        ds.switch_costs.clear();
+        ds.drain_sums.clear();
+        ds.bounds.clear();
+        for ci in 0..ncand {
+            let alpha = &ds.candidates[ci * m..(ci + 1) * m];
+            let sw = self.config.switch_on_penalty
                 * (0..m).filter(|&j| alpha[j] && !active[j]).count() as f64;
-            // A machine ordered off still has to drain its backlog (and
-            // cannot take new work while doing so): charge the cost of
-            // finishing the queue under zero arrivals. Without this term,
-            // shedding the most backlogged machine looks free.
-            let drain_cost: f64 = (0..m)
+            let dr: f64 = (0..m)
                 .filter(|&j| !alpha[j] && !dead[j] && queues[j] > 0)
-                .map(|j| drain_costs[j])
+                .map(|j| ds.drain_costs[j])
                 .sum();
+            ds.switch_costs.push(sw);
+            ds.drain_sums.push(dr);
+            ds.bounds.push(sw + dr);
+        }
+
+        // Branch-and-bound order: cheapest bound first (original position
+        // breaks ties), so a strong incumbent lands early and prunes the
+        // rest. The incumbent rule below is lexicographic in (total cost,
+        // original position), which keeps the winner exactly the
+        // candidate the exhaustive original-order sweep would pick.
+        ds.order.clear();
+        ds.order.extend(0..ncand);
+        if self.config.pruned_search {
+            let bounds = &ds.bounds;
+            ds.order
+                .sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
+        }
+
+        // Shared γ cost lanes (see the scratch docs). Lane slots are
+        // filled lazily — a (member, unit) column is probed only when
+        // some candidate's hill-climb actually evaluates it, which on a
+        // warm-started steady decision is a handful of units around the
+        // standing split rather than the full quantum range. The fill
+        // marks persist across candidates, so shared members are still
+        // probed once per decision.
+        ds.lanes.resize(m * samples.len() * lane_w, 0.0);
+        ds.lane_filled.clear();
+        ds.lane_filled.resize(m * lane_w, false);
+
+        let mut best: Option<(f64, usize, Vec<bool>, Vec<f64>)> = None;
+        let mut candidates_evaluated = 0usize;
+        let mut candidates_pruned = 0usize;
+        for oi in 0..ncand {
+            let ci = ds.order[oi];
+            let alpha = &ds.candidates[ci * m..(ci + 1) * m];
+            ds.active_idx.clear();
+            ds.active_idx.extend((0..m).filter(|&j| alpha[j]));
+            if ds.active_idx.is_empty() {
+                continue;
+            }
+            if self.config.pruned_search {
+                if let Some((best_cost, _, _, _)) = &best {
+                    if ds.bounds[ci] > *best_cost {
+                        candidates_pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            candidates_evaluated += 1;
 
             // γ search over the quantized simplex restricted to actives.
-            let grid = SimplexGrid::with_quantum(active_idx.len(), self.config.gamma_quantum);
+            let grid = SimplexGrid::with_quantum(ds.active_idx.len(), quantum);
             // Warm-start from the standing split — "searches a limited
             // neighborhood of [the current] state". Machines without a
             // previous share (newly recruited, or the first decision)
             // enter at their capacity share: "the possible choices for
             // γ_ij … are limited by the maximum processing capacity".
-            let total_capacity: f64 = active_idx
+            let total_capacity: f64 = ds
+                .active_idx
                 .iter()
                 .map(|&j| self.members[j].speed / cs[j])
                 .sum();
-            let weights: Vec<f64> = active_idx
-                .iter()
-                .map(|&j| {
-                    if self.prev_gamma[j] > 0.0 {
-                        self.prev_gamma[j]
-                    } else {
-                        self.members[j].speed / cs[j] / total_capacity
-                    }
-                })
-                .collect();
-            let start = grid.snap(&weights);
-
-            let maps = &self.maps;
-            let mut evaluate = |gamma_active: &Vec<f64>| -> f64 {
-                let mut total = 0.0;
-                for (s, &lambda_s) in samples.iter().enumerate() {
-                    let mut sample_cost = 0.0;
-                    for (pos, &j) in active_idx.iter().enumerate() {
-                        let units = (gamma_active[pos] / quantum).round() as i64;
-                        let lambda_j = units as f64 * quantum * lambda_s;
-                        let q_j = queues[j] as f64;
-                        let cost = if maps[j].in_table(lambda_j, q_j) {
-                            maps[j].query(lambda_j, cs[j], q_j).cost
-                        } else {
-                            *memo
-                                .entry((j, s, units))
-                                .or_insert_with(|| maps[j].query(lambda_j, cs[j], q_j).cost)
-                        };
-                        sample_cost += cost;
-                    }
-                    total += sample_cost;
+            ds.weights.clear();
+            let prev_gamma = &self.prev_gamma;
+            let members = &self.members;
+            ds.weights.extend(ds.active_idx.iter().map(|&j| {
+                if prev_gamma[j] > 0.0 {
+                    prev_gamma[j]
+                } else {
+                    members[j].speed / cs[j] / total_capacity
                 }
-                total / samples.len() as f64
+            }));
+            // Snap straight to integer units — the same grid point
+            // `snap` would choose, without the f64 roundtrip (grid
+            // points are exactly `u·quantum`, so the unit form is
+            // lossless) or its allocations.
+            grid.snap_units_into(&ds.weights, &mut ds.climb_units, &mut ds.snap_rema);
+
+            let sample_count = samples.len();
+            let lanes = &mut ds.lanes;
+            let lane_filled = &mut ds.lane_filled;
+            let idx_ref = &ds.active_idx;
+            let maps = &self.maps;
+            let mut evaluate = |units: &[i64]| -> f64 {
+                // Bit-exact replica of the scalar objective's summation
+                // order (sample-major, member-inner): one register
+                // accumulator per band sample, each updated member by
+                // member, reproduces every sample's partial sum exactly,
+                // and the left-to-right combine matches the scalar
+                // `total += sample_cost` fold over the three samples.
+                let (mut s0, mut s1, mut s2) = (0.0, 0.0, 0.0);
+                for (pos, &j) in idx_ref.iter().enumerate() {
+                    let u = units[pos] as usize;
+                    if !lane_filled[j * lane_w + u] {
+                        // First visit of this (member, unit) column this
+                        // decision: probe the whole band at once.
+                        // In-grid samples stream off the dense cost slab
+                        // (identical values to scalar queries); any
+                        // out-of-grid samples resolve through one
+                        // batched lockstep replay across the band.
+                        lane_filled[j * lane_w + u] = true;
+                        let q_j = queues[j] as f64;
+                        let c_j = cs[j];
+                        let map = &maps[j];
+                        let slab = map.cost_slab();
+                        let mut pts = [(0.0f64, 0.0f64, 0.0f64); 3];
+                        let mut out = [false; 3];
+                        let mut npts = 0usize;
+                        for (s, &lambda_s) in samples.iter().enumerate() {
+                            let lambda_j = u as f64 * quantum * lambda_s;
+                            if map.in_table(lambda_j, q_j) {
+                                lanes[(j * sample_count + s) * lane_w + u] = match slab.as_ref() {
+                                    Some(slab) => slab.value(
+                                        slab.fixed_base(&[0.0, c_j, q_j], 0)
+                                            + slab.axis_offset(0, lambda_j),
+                                    ),
+                                    None => map.query(lambda_j, c_j, q_j).cost,
+                                };
+                            } else {
+                                pts[npts] = (lambda_j, c_j, q_j);
+                                out[s] = true;
+                                npts += 1;
+                            }
+                        }
+                        if npts > 0 {
+                            let entries = map.query_batch(&pts[..npts]);
+                            let mut k = 0usize;
+                            for (s, &o) in out.iter().enumerate() {
+                                if o {
+                                    lanes[(j * sample_count + s) * lane_w + u] = entries[k].cost;
+                                    k += 1;
+                                }
+                            }
+                        }
+                    }
+                    let base = j * sample_count * lane_w + u;
+                    s0 += lanes[base];
+                    s1 += lanes[base + lane_w];
+                    s2 += lanes[base + 2 * lane_w];
+                }
+                (s0 + s1 + s2) / sample_count as f64
             };
 
-            let search = BoundedSearch::new(self.config.search_rounds, self.config.search_evals);
-            let opt = search.minimize(start, &mut evaluate, |g| grid.neighbors(g));
-            states += opt.evaluations * samples.len();
+            // Unit-space hill-climb replicating `BoundedSearch::minimize`
+            // move for move (evaluate the start, round/evaluation budgets
+            // with the pre-evaluation budget check, strict first-wins
+            // round improvement) — but over integer γ quanta through the
+            // allocation-free neighbor visitor, so one neighbor
+            // evaluation is three flat lane loads per active member and
+            // the whole decision is bit-identical to the scalar probe
+            // path (shared by the pruned and exhaustive searches alike).
+            let mut climb_cost = evaluate(&ds.climb_units);
+            let mut evaluations = 1usize;
+            let mut rounds = 0usize;
+            let round_units = &mut ds.round_units;
+            while rounds < max_rounds && evaluations < max_evals {
+                rounds += 1;
+                let mut round_best: Option<f64> = None;
+                grid.for_each_neighbor_units(&ds.climb_units, &mut ds.scratch_units, &mut |cand| {
+                    if evaluations >= max_evals {
+                        return;
+                    }
+                    let cost = evaluate(cand);
+                    evaluations += 1;
+                    if cost < round_best.map_or(climb_cost, |c| c) {
+                        round_best = Some(cost);
+                        round_units.clear();
+                        round_units.extend_from_slice(cand);
+                    }
+                });
+                match round_best {
+                    Some(cost) => {
+                        ds.climb_units.clear();
+                        ds.climb_units.extend_from_slice(round_units);
+                        climb_cost = cost;
+                    }
+                    None => break,
+                }
+            }
+            states += evaluations * samples.len();
 
             // Hard power-budget constraint: expected draw of the chosen
             // configuration at the nominal forecast.
             if let Some(budget) = self.config.power_budget {
-                let power: f64 = active_idx
+                let power: f64 = ds
+                    .active_idx
                     .iter()
                     .enumerate()
                     .map(|(pos, &j)| {
                         self.maps[j]
-                            .query(opt.candidate[pos] * lambda_hat, cs[j], queues[j] as f64)
+                            .query(
+                                ds.climb_units[pos] as f64 * quantum * lambda_hat,
+                                cs[j],
+                                queues[j] as f64,
+                            )
                             .power
                     })
                     .sum();
@@ -1196,40 +1599,58 @@ impl L1Controller {
                     continue;
                 }
             }
-            let total_cost = opt.cost + switch_cost + drain_cost;
-            if best.as_ref().is_none_or(|(c, _, _)| total_cost < *c) {
-                let mut gamma_full = vec![0.0; m];
-                for (pos, &j) in active_idx.iter().enumerate() {
-                    gamma_full[j] = opt.candidate[pos];
+            let total_cost = climb_cost + ds.switch_costs[ci] + ds.drain_sums[ci];
+            let accept = match &best {
+                None => true,
+                // Lexicographic (cost, original position): under the
+                // original order this is exactly "strictly cheaper wins"
+                // (positions only increase); under the bound-sorted order
+                // it restores first-minimal-wins tie-breaking.
+                Some((best_cost, best_ci, _, _)) => {
+                    total_cost < *best_cost || (total_cost == *best_cost && ci < *best_ci)
                 }
-                best = Some((total_cost, alpha, gamma_full));
+            };
+            if accept {
+                let mut gamma_full = vec![0.0; m];
+                for (pos, &j) in ds.active_idx.iter().enumerate() {
+                    gamma_full[j] = ds.climb_units[pos] as f64 * quantum;
+                }
+                best = Some((total_cost, ci, alpha.to_vec(), gamma_full));
             }
         }
-
         // With a tight power budget every candidate may be infeasible; fall
         // back to the lowest-power single machine rather than panicking.
-        let (expected_cost, alpha, gamma) = best.unwrap_or_else(|| {
-            let cheapest = (0..m)
-                .filter(|&j| !dead[j])
-                .min_by(|&a, &b| {
-                    (self.members[a].speed / cs[a]).total_cmp(&(self.members[b].speed / cs[b]))
-                })
-                .expect("at least one live member");
-            let mut alpha = vec![false; m];
-            alpha[cheapest] = true;
-            let mut gamma = vec![0.0; m];
-            gamma[cheapest] = 1.0;
-            (f64::INFINITY, alpha, gamma)
-        });
+        let (expected_cost, alpha, gamma) = match best {
+            Some((cost, _, alpha, gamma)) => (cost, alpha, gamma),
+            None => {
+                let cheapest = (0..m)
+                    .filter(|&j| !dead[j])
+                    .min_by(|&a, &b| {
+                        (self.members[a].speed / cs[a]).total_cmp(&(self.members[b].speed / cs[b]))
+                    })
+                    .expect("at least one live member");
+                let mut alpha = vec![false; m];
+                alpha[cheapest] = true;
+                let mut gamma = vec![0.0; m];
+                gamma[cheapest] = 1.0;
+                (f64::INFINITY, alpha, gamma)
+            }
+        };
+        // Hand the scratch back for the next decision's reuse.
+        self.scratch = ds;
         self.prev_alpha.copy_from_slice(&alpha);
         self.prev_gamma.copy_from_slice(&gamma);
         self.total_states += states as u64;
+        self.total_candidates_evaluated += candidates_evaluated as u64;
+        self.total_candidates_pruned += candidates_pruned as u64;
         self.decisions += 1;
         L1Decision {
             alpha,
             gamma,
             expected_cost,
             states_evaluated: states,
+            candidates_evaluated,
+            candidates_pruned,
         }
     }
 }

@@ -91,6 +91,12 @@ pub(crate) struct ModuleRebuildJob {
     /// processing time `ĉ/ŝ` at trigger time, so the rebuilt envelope
     /// covers the capacity actually being delivered.
     pub(crate) specs: Vec<MemberSpec>,
+    /// Per-member learning envelopes `(c_range, λ_max, q_max)`,
+    /// re-estimated from the ranges the observation logs *actually
+    /// visited* (with headroom and safety floors) rather than the
+    /// static [`MemberSpec::learn_envelope`] — the same grid resolution
+    /// then concentrates on live traffic.
+    pub(crate) envelopes: Vec<((f64, f64), f64, f64)>,
     pub(crate) old_maps: Vec<Arc<AbstractionMap>>,
     /// Re-fit this module's L2 cost model on the fresh maps.
     pub(crate) rebuild_model: bool,
@@ -227,9 +233,20 @@ impl RetrainManager {
             for job in jobs {
                 // One offline pass per member, fanned out over llc-par —
                 // the same deterministic learning pipeline build() runs,
-                // just over the drift-corrected envelope.
-                let fresh: Vec<AbstractionMap> = llc_par::par_map(&job.specs, |spec| {
-                    AbstractionMap::learn_for_member(&ctx.l0, spec, ctx.learn, ctx.backend)
+                // but over the re-estimated (visited-range) envelopes.
+                debug_assert_eq!(job.specs.len(), job.envelopes.len());
+                let fresh: Vec<AbstractionMap> = llc_par::par_map_range(job.specs.len(), |i| {
+                    let spec = &job.specs[i];
+                    let (c_range, lambda_max, q_max) = job.envelopes[i];
+                    AbstractionMap::learn_with_backend(
+                        &ctx.l0,
+                        &spec.phis,
+                        c_range,
+                        lambda_max,
+                        q_max,
+                        ctx.learn,
+                        ctx.backend,
+                    )
                 });
                 let maps: Vec<Arc<AbstractionMap>> = fresh
                     .into_iter()

@@ -1,0 +1,258 @@
+//! Golden equivalence: the pruned branch-and-bound decision core is a
+//! pure optimization, never a decision change.
+//!
+//! The closed-loop hierarchy is run twice over the exact scenario
+//! configurations of the two committed bench families —
+//! `bench_closed_loop`'s drift scenarios and `bench_faults`'s fault
+//! schedules — once with the shipping pruned search and once with
+//! `pruned_search = false` (every candidate γ-searched). The two runs
+//! must emit *identical* action sequences, tick for tick: every power
+//! order, every frequency index, every γ split, over the whole
+//! trajectory. Because each decision feeds the next period's plant
+//! state, a single pruned-away optimum anywhere in the run would
+//! diverge the remaining trajectory and fail the comparison.
+//!
+//! A property test backs the golden runs: the bound the search prunes
+//! on (switch-on penalty + backlog drain) is *admissible* — it never
+//! exceeds the candidate's true total cost — because the γ-search term
+//! it omits is a band average of map costs, and map costs are
+//! non-negative by construction (absolute-value penalties over slack
+//! and power). The test checks the non-negativity lemma directly on
+//! randomized map probes and the end-to-end consequence (bit-identical
+//! decisions) on randomized module states.
+
+use llc_cluster::{
+    cluster_of, single_module, AbstractionMap, Action, Cadence, ClusterPolicy, Experiment,
+    FaultToleranceConfig, HierarchicalPolicy, L0Config, L1Config, L1Controller, LearnSpec,
+    MapBackend, MemberSpec, Observations, PolicyBuilder, PolicyMetrics, ScenarioConfig,
+};
+use llc_core::OnlineConfig;
+use llc_workload::{drift_scenarios, fault_scenarios, CapacityProfile, VirtualStore};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Records every tick's full action vector so two runs can be compared
+/// directive for directive.
+struct Recorder {
+    inner: HierarchicalPolicy,
+    log: Vec<Vec<Action>>,
+}
+
+impl ClusterPolicy for Recorder {
+    fn decide(&mut self, obs: &Observations) -> Vec<Action> {
+        let actions = self.inner.decide(obs);
+        self.log.push(actions.clone());
+        actions
+    }
+
+    fn name(&self) -> &str {
+        "hierarchical-llc-recorder"
+    }
+
+    fn cadence(&self) -> Cadence {
+        self.inner.cadence()
+    }
+
+    fn metrics(&self) -> PolicyMetrics {
+        self.inner.metrics()
+    }
+}
+
+/// `bench_closed_loop`'s diurnal-profile re-bucketing (the capacity
+/// profiles are expressed over 120 s buckets, the experiment ticks every
+/// 30 s).
+fn profile_in_ticks(profile: CapacityProfile, ratio: f64) -> CapacityProfile {
+    match profile {
+        CapacityProfile::Diurnal {
+            base,
+            amplitude,
+            period,
+        } => CapacityProfile::Diurnal {
+            base,
+            amplitude,
+            period: period * ratio,
+        },
+        other => other,
+    }
+}
+
+/// Assert two directive logs agree on every tick. `f64`-carrying actions
+/// (`SetModuleWeights`, `SetComputerWeights`) compare by value, which for
+/// the quantized γ grid means exact-grid-point equality.
+fn assert_directives_equal(pruned: &[Vec<Action>], exhaustive: &[Vec<Action>], label: &str) {
+    assert_eq!(
+        pruned.len(),
+        exhaustive.len(),
+        "{label}: tick counts diverged"
+    );
+    for (tick, (p, e)) in pruned.iter().zip(exhaustive).enumerate() {
+        assert_eq!(
+            p, e,
+            "{label}: directives diverged at tick {tick} — pruning changed a decision"
+        );
+    }
+}
+
+/// The closed-loop bench family (`bench_closed_loop --quick`): hash-map
+/// single_module(2) with both machines pinned on, over the three seeded
+/// drift scenarios.
+#[test]
+fn pruned_search_matches_exhaustive_on_closed_loop_scenarios() {
+    let buckets = 60; // the bench's --quick horizon
+    let base_sc = {
+        let mut sc = single_module(2).with_coarse_learning().with_hash_maps();
+        sc.l1.min_active = 2;
+        sc
+    };
+    let capacity: f64 = base_sc.member_specs()[0]
+        .iter()
+        .map(|m| m.speed / m.c_prior)
+        .sum();
+    for scenario in &drift_scenarios(0xC105ED, buckets, 120.0, 0.55 * capacity) {
+        let mut logs = Vec::new();
+        for pruned in [true, false] {
+            let mut sc = base_sc.clone();
+            sc.l1.pruned_search = pruned;
+            let policy = PolicyBuilder::new(sc.clone())
+                .closed_loop(OnlineConfig::default().validated())
+                .build();
+            let ratio = scenario.trace.interval() / 30.0;
+            let exp = Experiment {
+                drift: Some(profile_in_ticks(scenario.capacity, ratio)),
+                ..Experiment::paper_default(0xBEEF)
+            };
+            let store = VirtualStore::paper_default(0xBEEF);
+            let mut recorder = Recorder {
+                inner: policy,
+                log: Vec::new(),
+            };
+            exp.run(sc.to_sim_config(), &mut recorder, &scenario.trace, &store)
+                .expect("well-formed scenario");
+            logs.push(recorder.log);
+        }
+        assert_directives_equal(&logs[0], &logs[1], scenario.name);
+    }
+}
+
+/// The fault bench family (`bench_faults`): hash-map single_module(4)
+/// under the four seeded fault schedules, with the watchdog stack on —
+/// so the comparison also covers `decide_excluding` with dead members,
+/// the safe-mode fallback and post-rejoin recruiting.
+#[test]
+fn pruned_search_matches_exhaustive_on_fault_scenarios() {
+    let buckets = 90; // the bench horizon (quick keeps it too)
+    let base_sc = single_module(4).with_coarse_learning().with_hash_maps();
+    let capacity: f64 = base_sc.member_specs()[0]
+        .iter()
+        .map(|m| m.speed / m.c_prior)
+        .sum();
+    for fs in &fault_scenarios(0xFA11, buckets, 120.0, capacity, 4) {
+        let mut logs = Vec::new();
+        for pruned in [true, false] {
+            let mut sc = base_sc.clone();
+            sc.l1.pruned_search = pruned;
+            let policy = PolicyBuilder::new(sc.clone())
+                .closed_loop(OnlineConfig::default().validated())
+                .fault_tolerance(FaultToleranceConfig::default())
+                .build();
+            let exp = Experiment {
+                faults: Some(fs.plan.clone()),
+                ..Experiment::paper_default(0xBEEF)
+            };
+            let store = VirtualStore::paper_default(5);
+            let mut recorder = Recorder {
+                inner: policy,
+                log: Vec::new(),
+            };
+            exp.run(sc.to_sim_config(), &mut recorder, &fs.trace, &store)
+                .expect("well-formed scenario");
+            logs.push(recorder.log);
+        }
+        assert_directives_equal(&logs[0], &logs[1], fs.name);
+    }
+}
+
+/// Trained maps for the property tests, learned once (coarse grid) and
+/// shared across cases.
+fn learned_module() -> &'static (Vec<MemberSpec>, Vec<Arc<AbstractionMap>>) {
+    static FIXTURE: OnceLock<(Vec<MemberSpec>, Vec<Arc<AbstractionMap>>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scenario = ScenarioConfig {
+            modules: cluster_of(1),
+            ..llc_cluster::paper_cluster_16()
+        };
+        let members: Vec<MemberSpec> = scenario.member_specs().remove(0);
+        let maps: Vec<Arc<AbstractionMap>> = members
+            .iter()
+            .map(|s| {
+                Arc::new(AbstractionMap::learn_for_member(
+                    &L0Config::paper_default(),
+                    s,
+                    LearnSpec::coarse(),
+                    MapBackend::Dense,
+                ))
+            })
+            .collect();
+        (members, maps)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lemma the bound's admissibility rests on: every abstraction-map
+    /// cost is non-negative (penalties are absolute values), so the
+    /// γ-search term the bound omits can only add to switch + drain.
+    #[test]
+    fn map_costs_are_non_negative(
+        member in 0usize..4,
+        lambda in 0.0..400.0f64,
+        c in 0.001..0.2f64,
+        q0 in 0.0..60.0f64,
+    ) {
+        let (_, maps) = learned_module();
+        let e = maps[member].query(lambda, c, q0);
+        prop_assert!(
+            e.cost >= 0.0,
+            "map cost {} < 0 at (λ={lambda}, c={c}, q₀={q0}) — the pruning bound is inadmissible",
+            e.cost
+        );
+    }
+
+    /// End-to-end admissibility: if the bound ever exceeded a candidate's
+    /// true cost, the pruned search could skip the exhaustive winner and
+    /// the two decisions would differ somewhere in this state space.
+    #[test]
+    fn pruned_decision_matches_exhaustive_on_random_states(
+        queues in proptest::collection::vec(0usize..40, 4),
+        active_bits in 0u32..16,
+        arrivals in 100u64..20_000,
+        warmups in 1usize..5,
+    ) {
+        let active: Vec<bool> = (0..4).map(|j| active_bits & (1 << j) != 0).collect();
+        let (members, maps) = learned_module();
+        let pruned_cfg = L1Config::paper_default();
+        let exhaustive_cfg = L1Config { pruned_search: false, ..pruned_cfg };
+        let mut pruned = L1Controller::new_shared(pruned_cfg, members.clone(), maps.clone());
+        let mut exhaustive =
+            L1Controller::new_shared(exhaustive_cfg, members.clone(), maps.clone());
+        let demands = vec![Some(0.0175); members.len()];
+        for _ in 0..warmups {
+            pruned.observe(arrivals, &demands);
+            exhaustive.observe(arrivals, &demands);
+        }
+        let dp = pruned.decide(&queues, &active);
+        let de = exhaustive.decide(&queues, &active);
+        prop_assert_eq!(&dp.alpha, &de.alpha, "pruning changed the on/off vector");
+        prop_assert_eq!(
+            dp.gamma.iter().map(|g| g.to_bits()).collect::<Vec<_>>(),
+            de.gamma.iter().map(|g| g.to_bits()).collect::<Vec<_>>(),
+            "pruning changed the γ split"
+        );
+        prop_assert_eq!(
+            dp.expected_cost.to_bits(),
+            de.expected_cost.to_bits(),
+            "pruning changed the expected cost"
+        );
+    }
+}
