@@ -455,6 +455,41 @@ impl PolicyMetrics {
     }
 }
 
+/// Transport-layer counters for a control plane that talks to its
+/// plant over a real wire (the `llc-net` node-agent/controller split).
+/// The in-process [`ControlPlane`] has no transport and reports the
+/// all-zero default; a networked driver fills this section into the
+/// [`MetricsSnapshot`] it serves, so one endpoint explains both the
+/// decisions and the link they rode on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransportMetrics {
+    /// Frames received and successfully decoded.
+    pub frames_in: u64,
+    /// Frames encoded and sent.
+    pub frames_out: u64,
+    /// Wire bytes received (framing included).
+    pub bytes_in: u64,
+    /// Wire bytes sent (framing included).
+    pub bytes_out: u64,
+    /// Frames refused by the decoder (truncated, corrupted, version-
+    /// skewed). A refused frame is dropped whole — never partially
+    /// applied.
+    pub decode_errors: u64,
+    /// Observations that arrived after their tick was already decided
+    /// and were therefore rejected at ingest (the transport-lateness
+    /// face of `stale_observations`).
+    pub late_observations: u64,
+    /// Module-windows decided without that module's observation — the
+    /// deadline fired first and the members were dark-filled.
+    pub lost_observation_windows: u64,
+    /// Accepted agent connections beyond the first (session
+    /// re-establishment after a drop).
+    pub reconnects: u64,
+    /// Wedged-actuator reports received from agents: directives the
+    /// agent applied whose actuator did not take the commanded value.
+    pub wedged_reports: u64,
+}
+
 /// Everything observable about a control plane at one instant: the
 /// driver's own ingest/emit/latency counters plus the policy's
 /// [`PolicyMetrics`]. This is the one metrics surface — the counters
@@ -484,6 +519,9 @@ pub struct MetricsSnapshot {
     pub decide: LatencyStats,
     /// The policy's own operational counters.
     pub policy: PolicyMetrics,
+    /// Wire-transport counters, all zero for an in-process plane (see
+    /// [`TransportMetrics`]).
+    pub transport: TransportMetrics,
 }
 
 impl MetricsSnapshot {
@@ -656,6 +694,17 @@ impl<P: ClusterPolicy> ControlPlane<P> {
         self.pending
             .get(&self.next_tick)
             .is_some_and(|slot| slot.iter().all(Option::is_some))
+    }
+
+    /// How many modules have reported for the next undecided tick. A
+    /// deadline-driven transport reads this before forcing a [`step`]
+    /// to count the module-windows it is about to dark-fill.
+    ///
+    /// [`step`]: ControlPlane::step
+    pub fn reported_modules(&self) -> usize {
+        self.pending
+            .get(&self.next_tick)
+            .map_or(0, |slot| slot.iter().filter(|o| o.is_some()).count())
     }
 
     /// Decide the next tick from whatever has been ingested for it,
@@ -839,6 +888,7 @@ impl<P: ClusterPolicy> ControlPlane<P> {
             directives_emitted: self.emitted,
             decide,
             policy,
+            transport: TransportMetrics::default(),
         }
     }
 }

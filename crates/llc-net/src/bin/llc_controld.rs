@@ -1,0 +1,138 @@
+//! `llc-controld` — the controller daemon: wraps a `ControlPlane` over
+//! the full self-healing hierarchy behind a TCP listener and drives one
+//! node agent through the window protocol.
+//!
+//! ```text
+//! llc-controld --listen 127.0.0.1:7700 --scenario faults \
+//!              [--members N] [--buckets N] [--seed N] [--pace-ms MS]
+//! ```
+//!
+//! `--pace-ms 0` (the default) is lockstep: each tick waits for the
+//! agent's heartbeat, which over a lossless link reproduces the
+//! in-process loop bit for bit. A positive pace holds each tick's
+//! window open for that much wall clock, then catches the plane up with
+//! `advance_to` semantics, dark-filling members whose observations
+//! missed the deadline. Agents may drop and reconnect mid-run in paced
+//! mode; reconnects are counted in the metrics' transport section.
+
+use llc_net::scenario::{flag_value, Family, RunSpec};
+use llc_net::{serve_controller, ControldCore, FrameTransport, SessionError, TcpLink};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: llc-controld --listen ADDR [--scenario closed-loop|faults] \
+             [--members N] [--buckets N] [--seed N] [--pace-ms MS]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let listen = flag_value(&args, "--listen").unwrap_or_else(|| "127.0.0.1:7700".into());
+    let family = match Family::parse(
+        &flag_value(&args, "--scenario").unwrap_or_else(|| "closed-loop".into()),
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("llc-controld: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = RunSpec::defaults(family);
+    if let Some(v) = flag_value(&args, "--members") {
+        spec.members = v.parse().expect("--members takes an integer");
+    }
+    if let Some(v) = flag_value(&args, "--buckets") {
+        spec.buckets = v.parse().expect("--buckets takes an integer");
+    }
+    if let Some(v) = flag_value(&args, "--seed") {
+        spec.seed = v.parse().expect("--seed takes an integer");
+    }
+    let pace_ms: u64 = flag_value(&args, "--pace-ms")
+        .map_or(0, |v| v.parse().expect("--pace-ms takes milliseconds"));
+    let pace = (pace_ms > 0).then(|| Duration::from_millis(pace_ms));
+
+    let (exp, trace) = spec.experiment_and_trace();
+    let ticks_trace = trace.rebucket(exp.t_l0).expect("well-formed trace");
+    let total_ticks = ticks_trace.len() as u64;
+    // The topology the plane manages: contiguous indices per module,
+    // derived from the same scenario the agent instantiates.
+    let members: Vec<Vec<usize>> = {
+        let sizes: Vec<usize> = spec
+            .scenario_config()
+            .member_specs()
+            .iter()
+            .map(Vec::len)
+            .collect();
+        let mut members = Vec::with_capacity(sizes.len());
+        let mut next = 0usize;
+        for n in sizes {
+            members.push((next..next + n).collect::<Vec<_>>());
+            next += n;
+        }
+        members
+    };
+    let mut core = ControldCore::new(spec.policy(), members, exp.t_l0, total_ticks);
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("llc-controld: cannot listen on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("llc-controld: listening on {listen} ({total_ticks} ticks, pace {pace_ms} ms)");
+
+    let mut first = true;
+    while !core.finished() {
+        let (stream, peer) = match listener.accept() {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("llc-controld: accept failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !first {
+            core.note_reconnect();
+        }
+        first = false;
+        eprintln!("llc-controld: agent connected from {peer}");
+        let mut link = match TcpLink::new(stream) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("llc-controld: {e}");
+                continue;
+            }
+        };
+        match serve_controller(&mut core, &mut link, pace) {
+            Ok(()) => {
+                let m = core.metrics(&link.counters());
+                let t = &m.transport;
+                eprintln!(
+                    "llc-controld: run complete — {} ticks, {} directives; transport: \
+                     {} frames in / {} out, {} decode errors, {} late obs, \
+                     {} lost module-windows, {} reconnects, {} wedged reports",
+                    m.ticks_decided,
+                    m.directives_emitted,
+                    t.frames_in,
+                    t.frames_out,
+                    t.decode_errors,
+                    t.late_observations,
+                    t.lost_observation_windows,
+                    t.reconnects,
+                    t.wedged_reports,
+                );
+            }
+            Err(SessionError::Link(e)) if pace.is_some() && !core.finished() => {
+                eprintln!("llc-controld: link lost mid-run ({e}); awaiting reconnect");
+            }
+            Err(e) => {
+                eprintln!("llc-controld: session failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

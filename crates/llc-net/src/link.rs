@@ -1,0 +1,487 @@
+//! Frame transports: the seam between the codec and the world.
+//!
+//! [`FrameTransport`] is the one interface the session loops drive;
+//! [`TcpLink`] implements it over a real socket (length-prefixed reads
+//! with an internal reassembly buffer, per-call timeouts), [`PipeLink`]
+//! implements it over in-process byte queues for deterministic
+//! single-threaded tests, and [`LossyLink`] wraps any transport and
+//! injects deterministic frame drops and delays *after encoding* — the
+//! same bytes a real lossy network would mangle, which is what the
+//! lossy-link integration test leans on.
+
+use crate::frame::{decode_frame, encode_frame, Frame, FrameKind, WireError, HEADER_LEN};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Raw transport counters, shared by every link type. These feed the
+/// `TransportMetrics` section of `MetricsSnapshot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkCounters {
+    /// Frames received and decoded.
+    pub frames_in: u64,
+    /// Frames encoded and sent.
+    pub frames_out: u64,
+    /// Wire bytes received.
+    pub bytes_in: u64,
+    /// Wire bytes sent.
+    pub bytes_out: u64,
+    /// Frames the decoder refused (dropped whole, never partially
+    /// applied).
+    pub decode_errors: u64,
+}
+
+/// Why a link operation failed.
+#[derive(Debug)]
+pub enum LinkError {
+    /// The peer closed the connection.
+    Closed,
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The byte stream no longer frames correctly (bad magic, version
+    /// skew, oversized length): the connection cannot be trusted past
+    /// this point and must be re-established.
+    Desync(WireError),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Closed => write!(f, "peer closed the connection"),
+            LinkError::Io(e) => write!(f, "io error: {e}"),
+            LinkError::Desync(e) => write!(f, "stream desync: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<std::io::Error> for LinkError {
+    fn from(e: std::io::Error) -> Self {
+        LinkError::Io(e)
+    }
+}
+
+/// A bidirectional, ordered frame channel.
+pub trait FrameTransport {
+    /// Encode and send one frame (sequence numbers are assigned by the
+    /// link).
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] on transport failure.
+    fn send(&mut self, kind: FrameKind, payload: Vec<u8>) -> Result<(), LinkError>;
+
+    /// Receive the next frame. `timeout = None` blocks until a frame
+    /// arrives or the peer closes; `Some(d)` returns `Ok(None)` if no
+    /// frame arrived within `d`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] on transport failure or stream desync.
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, LinkError>;
+
+    /// Counter snapshot.
+    fn counters(&self) -> LinkCounters;
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+/// A [`FrameTransport`] over a TCP stream.
+#[derive(Debug)]
+pub struct TcpLink {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    next_seq: u32,
+    counters: LinkCounters,
+}
+
+impl TcpLink {
+    /// Wrap a connected stream. `TCP_NODELAY` is enabled: frames are
+    /// control-plane sized and latency-sensitive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn new(stream: TcpStream) -> Result<TcpLink, LinkError> {
+        stream.set_nodelay(true)?;
+        Ok(TcpLink {
+            stream,
+            rbuf: Vec::new(),
+            next_seq: 0,
+            counters: LinkCounters::default(),
+        })
+    }
+
+    fn try_decode(&mut self) -> Result<Option<Frame>, LinkError> {
+        if self.rbuf.is_empty() {
+            return Ok(None);
+        }
+        match decode_frame(&self.rbuf) {
+            Ok((frame, used)) => {
+                self.rbuf.drain(..used);
+                self.counters.frames_in += 1;
+                Ok(Some(frame))
+            }
+            Err(WireError::Truncated { .. }) => Ok(None),
+            Err(e) => {
+                // Framing is length-prefixed: once the header lies, no
+                // later byte boundary can be trusted.
+                self.counters.decode_errors += 1;
+                Err(LinkError::Desync(e))
+            }
+        }
+    }
+}
+
+impl FrameTransport for TcpLink {
+    fn send(&mut self, kind: FrameKind, payload: Vec<u8>) -> Result<(), LinkError> {
+        let frame = Frame::new(kind, self.next_seq, payload);
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let bytes = encode_frame(&frame);
+        self.stream.write_all(&bytes)?;
+        self.counters.frames_out += 1;
+        self.counters.bytes_out += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, LinkError> {
+        loop {
+            if let Some(frame) = self.try_decode()? {
+                return Ok(Some(frame));
+            }
+            // Need more bytes. A zero timeout is interpreted by the OS
+            // as "block forever", so floor it at 1 ms.
+            self.stream
+                .set_read_timeout(timeout.map(|t| t.max(Duration::from_millis(1))))?;
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(LinkError::Closed),
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    self.counters.bytes_in += n as u64;
+                    // Keep the reassembly buffer honest even before a
+                    // full frame lands.
+                    if self.rbuf.len() >= HEADER_LEN {
+                        continue;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(LinkError::Io(e)),
+            }
+        }
+    }
+
+    fn counters(&self) -> LinkCounters {
+        self.counters
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process pipe (deterministic tests)
+// ---------------------------------------------------------------------
+
+type ByteQueue = Rc<RefCell<VecDeque<Vec<u8>>>>;
+
+/// One end of an in-process frame pipe: the same encode→bytes→decode
+/// path as [`TcpLink`], minus the socket. Single-threaded by design
+/// (`Rc`), which is exactly what the deterministic lossy-link test
+/// wants — the test plays scheduler.
+#[derive(Debug)]
+pub struct PipeLink {
+    out: ByteQueue,
+    inbox: ByteQueue,
+    next_seq: u32,
+    counters: LinkCounters,
+}
+
+impl PipeLink {
+    /// A connected pair (a, b): what a sends, b receives, and vice
+    /// versa.
+    pub fn pair() -> (PipeLink, PipeLink) {
+        let ab: ByteQueue = Rc::new(RefCell::new(VecDeque::new()));
+        let ba: ByteQueue = Rc::new(RefCell::new(VecDeque::new()));
+        (
+            PipeLink {
+                out: Rc::clone(&ab),
+                inbox: Rc::clone(&ba),
+                next_seq: 0,
+                counters: LinkCounters::default(),
+            },
+            PipeLink {
+                out: ba,
+                inbox: ab,
+                next_seq: 0,
+                counters: LinkCounters::default(),
+            },
+        )
+    }
+}
+
+impl FrameTransport for PipeLink {
+    fn send(&mut self, kind: FrameKind, payload: Vec<u8>) -> Result<(), LinkError> {
+        let frame = Frame::new(kind, self.next_seq, payload);
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let bytes = encode_frame(&frame);
+        self.counters.frames_out += 1;
+        self.counters.bytes_out += bytes.len() as u64;
+        self.out.borrow_mut().push_back(bytes);
+        Ok(())
+    }
+
+    fn recv(&mut self, _timeout: Option<Duration>) -> Result<Option<Frame>, LinkError> {
+        // A pipe never blocks: "nothing queued" is the timeout case.
+        let Some(bytes) = self.inbox.borrow_mut().pop_front() else {
+            return Ok(None);
+        };
+        self.counters.bytes_in += bytes.len() as u64;
+        match decode_frame(&bytes) {
+            Ok((frame, _)) => {
+                self.counters.frames_in += 1;
+                Ok(Some(frame))
+            }
+            Err(e) => {
+                self.counters.decode_errors += 1;
+                Err(LinkError::Desync(e))
+            }
+        }
+    }
+
+    fn counters(&self) -> LinkCounters {
+        self.counters
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic loss/delay injection
+// ---------------------------------------------------------------------
+
+/// A deterministic impairment rule, matched against a frame's kind and
+/// the link's current tick (set by the driver via
+/// [`LossyLink::set_tick`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Impairment {
+    /// Which frame kind the rule hits (`None` = every kind).
+    pub kind: Option<FrameKind>,
+    /// First tick the rule is active (inclusive).
+    pub from_tick: u64,
+    /// First tick the rule is no longer active (exclusive).
+    pub to_tick: u64,
+    /// `0` = drop the frame; `n > 0` = hold it and deliver when the
+    /// link's tick reaches `current + n` (reordering included free of
+    /// charge: later frames overtake held ones).
+    pub delay_ticks: u64,
+}
+
+impl Impairment {
+    /// Drop every `kind` frame sent while the tick is in
+    /// `[from_tick, to_tick)`.
+    pub fn drop(kind: FrameKind, from_tick: u64, to_tick: u64) -> Impairment {
+        Impairment {
+            kind: Some(kind),
+            from_tick,
+            to_tick,
+            delay_ticks: 0,
+        }
+    }
+
+    /// Delay every `kind` frame sent while the tick is in
+    /// `[from_tick, to_tick)` by `delay_ticks` ticks.
+    pub fn delay(kind: FrameKind, from_tick: u64, to_tick: u64, delay_ticks: u64) -> Impairment {
+        Impairment {
+            kind: Some(kind),
+            from_tick,
+            to_tick,
+            delay_ticks,
+        }
+    }
+
+    fn matches(&self, kind: FrameKind, tick: u64) -> bool {
+        tick >= self.from_tick && tick < self.to_tick && self.kind.is_none_or(|k| k == kind)
+    }
+}
+
+/// A lossy wrapper over any transport: applies [`Impairment`]s to
+/// outbound frames *after* encoding, at the transport seam. Entirely
+/// deterministic — the same rules and the same tick schedule impair the
+/// same frames every run.
+#[derive(Debug)]
+pub struct LossyLink<T: FrameTransport> {
+    inner: T,
+    rules: Vec<Impairment>,
+    tick: u64,
+    held: Vec<(u64, FrameKind, Vec<u8>)>,
+    dropped: u64,
+    delayed: u64,
+}
+
+impl<T: FrameTransport> LossyLink<T> {
+    /// Wrap `inner` with impairment `rules`.
+    pub fn new(inner: T, rules: Vec<Impairment>) -> LossyLink<T> {
+        LossyLink {
+            inner,
+            rules,
+            tick: 0,
+            held: Vec::new(),
+            dropped: 0,
+            delayed: 0,
+        }
+    }
+
+    /// Advance the link's tick, releasing any held frame whose delivery
+    /// tick has arrived (in hold order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures from the inner transport.
+    pub fn set_tick(&mut self, tick: u64) -> Result<(), LinkError> {
+        self.tick = tick;
+        let due: Vec<(u64, FrameKind, Vec<u8>)> = {
+            let mut due = Vec::new();
+            self.held.retain_mut(|(at, kind, payload)| {
+                if *at <= tick {
+                    due.push((*at, *kind, std::mem::take(payload)));
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for (_, kind, payload) in due {
+            self.inner.send(kind, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Frames dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames delayed so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped transport.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: FrameTransport> FrameTransport for LossyLink<T> {
+    fn send(&mut self, kind: FrameKind, payload: Vec<u8>) -> Result<(), LinkError> {
+        if let Some(rule) = self.rules.iter().find(|r| r.matches(kind, self.tick)) {
+            if rule.delay_ticks == 0 {
+                self.dropped += 1;
+                return Ok(()); // the wire ate it
+            }
+            self.delayed += 1;
+            self.held
+                .push((self.tick + rule.delay_ticks, kind, payload));
+            return Ok(());
+        }
+        self.inner.send(kind, payload)
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, LinkError> {
+        self.inner.recv(timeout)
+    }
+
+    fn counters(&self) -> LinkCounters {
+        self.inner.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_delivers_in_order() {
+        let (mut a, mut b) = PipeLink::pair();
+        a.send(FrameKind::Hello, vec![1]).unwrap();
+        a.send(FrameKind::Heartbeat, vec![2]).unwrap();
+        let first = b.recv(None).unwrap().unwrap();
+        let second = b.recv(None).unwrap().unwrap();
+        assert_eq!(first.kind, FrameKind::Hello);
+        assert_eq!(second.kind, FrameKind::Heartbeat);
+        assert!(b.recv(None).unwrap().is_none(), "queue drained");
+        assert_eq!(a.counters().frames_out, 2);
+        assert_eq!(b.counters().frames_in, 2);
+    }
+
+    #[test]
+    fn lossy_drop_and_delay_are_tick_scoped() {
+        let (pipe, mut far) = PipeLink::pair();
+        let mut lossy = LossyLink::new(
+            pipe,
+            vec![
+                Impairment::drop(FrameKind::Observation, 5, 7),
+                Impairment::delay(FrameKind::Directive, 5, 7, 3),
+            ],
+        );
+        // Tick 4: clean.
+        lossy.set_tick(4).unwrap();
+        lossy.send(FrameKind::Observation, vec![4]).unwrap();
+        assert!(far.recv(None).unwrap().is_some());
+        // Ticks 5..7: observations vanish, directives are held.
+        for t in 5..7 {
+            lossy.set_tick(t).unwrap();
+            lossy.send(FrameKind::Observation, vec![t as u8]).unwrap();
+            lossy.send(FrameKind::Directive, vec![t as u8]).unwrap();
+            assert!(far.recv(None).unwrap().is_none(), "tick {t} impaired");
+        }
+        assert_eq!(lossy.dropped(), 2);
+        assert_eq!(lossy.delayed(), 2);
+        // Tick 8: the tick-5 directive (due at 8) is released; the
+        // tick-6 one (due at 9) is still held.
+        lossy.set_tick(8).unwrap();
+        let released = far.recv(None).unwrap().expect("tick-5 directive due");
+        assert_eq!(released.payload, vec![5]);
+        assert!(far.recv(None).unwrap().is_none());
+        lossy.set_tick(9).unwrap();
+        assert_eq!(far.recv(None).unwrap().unwrap().payload, vec![6]);
+    }
+
+    #[test]
+    fn tcp_link_round_trips_over_loopback() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut link = TcpLink::new(stream).unwrap();
+            link.send(FrameKind::Hello, vec![7; 100]).unwrap();
+            let back = link.recv(None).unwrap().unwrap();
+            assert_eq!(back.kind, FrameKind::Heartbeat);
+            assert_eq!(back.payload, vec![9; 50_000], "big frame reassembled");
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut link = TcpLink::new(stream).unwrap();
+        let hello = link.recv(None).unwrap().unwrap();
+        assert_eq!(hello.kind, FrameKind::Hello);
+        assert_eq!(hello.payload, vec![7; 100]);
+        link.send(FrameKind::Heartbeat, vec![9; 50_000]).unwrap();
+        client.join().unwrap();
+        // Timeout path: nothing more is coming.
+        assert!(matches!(
+            link.recv(Some(Duration::from_millis(20))),
+            Ok(None) | Err(LinkError::Closed)
+        ));
+    }
+}
